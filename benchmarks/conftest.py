@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (or a named
+ablation) at a reduced-but-shape-preserving scale, asserts the paper's
+qualitative result, and prints the rows/series the figure reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale can be raised toward the paper's sample sizes via the
+``REPRO_BENCH_SCALE`` environment variable (``tiny`` | ``small`` |
+``paper``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+_SCALES = {
+    "tiny": ExperimentScale.tiny,
+    "small": ExperimentScale.small,
+    "paper": ExperimentScale.paper,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The experiment scale benchmarks run at (env-selectable)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    try:
+        factory = _SCALES[name]
+    except KeyError:
+        raise RuntimeError("REPRO_BENCH_SCALE must be one of %s"
+                           % sorted(_SCALES)) from None
+    return factory(seed=1)

@@ -1,0 +1,56 @@
+"""Benchmarks: ablations of the design choices DESIGN.md calls out.
+
+1. split TCP vs direct-to-back-end;
+2. FE static cache on/off;
+3. FE placement density sweep (the placement/fetch trade-off);
+4. last-hop loss sweep (split TCP's growing advantage under loss).
+"""
+
+from repro.experiments.ablation import (
+    run_cache_ablation,
+    run_loss_ablation,
+    run_placement_ablation,
+    run_split_tcp_ablation,
+)
+from repro.experiments.report import (
+    render_cache_ablation,
+    render_loss,
+    render_placement,
+    render_split_tcp,
+)
+from repro.sim import units
+
+
+def test_bench_ablation_split_tcp(benchmark, bench_scale):
+    result = benchmark.pedantic(run_split_tcp_ablation,
+                                args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_split_tcp(result))
+    assert result.speedup > 1.15
+
+
+def test_bench_ablation_cache(benchmark, bench_scale):
+    result = benchmark.pedantic(run_cache_ablation, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_cache_ablation(result))
+    assert result.ttfb_improvement > units.ms(100)
+
+
+def test_bench_ablation_placement(benchmark, bench_scale):
+    result = benchmark.pedantic(run_placement_ablation,
+                                args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_placement(result))
+    assert result.points[0].median_rtt > result.points[-1].median_rtt
+    assert result.overall_gain() < units.ms(120)
+
+
+def test_bench_ablation_loss(benchmark, bench_scale):
+    result = benchmark.pedantic(run_loss_ablation, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_loss(result))
+    assert result.advantage_grows_with_loss()

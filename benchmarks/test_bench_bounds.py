@@ -1,0 +1,20 @@
+"""Benchmark: Section-2 model validation (Eq. 1).
+
+``Tdelta <= Tfetch <= Tdynamic`` checked against the simulator's
+ground-truth fetch times, plus the accuracy of the paper's Section-5
+proxy (low-RTT Tdynamic ~ Tfetch).
+"""
+
+from repro.experiments.report import render_validation
+from repro.experiments.validation import run_validation
+from repro.sim import units
+
+
+def test_bench_bounds(benchmark, bench_scale):
+    result = benchmark.pedantic(run_validation, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_validation(result))
+
+    assert result.bounds.both_fraction == 1.0
+    assert result.proxy_error_below_rtt(units.ms(40)) < 0.10

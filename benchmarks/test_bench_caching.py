@@ -1,0 +1,29 @@
+"""Benchmark: the Section-3 "do FEs cache search results?" experiment.
+
+Paper conclusion: they do not.  The benchmark also runs the
+counterfactual (caching FEs) to show the methodology *would* have
+detected caching had it existed — a positive control.
+"""
+
+from repro.experiments.caching import run_caching_experiment
+from repro.experiments.report import render_caching
+
+
+def test_bench_caching_negative(benchmark, bench_scale):
+    result = benchmark.pedantic(run_caching_experiment,
+                                args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_caching(result))
+    assert not result.detection.caching_detected
+    assert result.detector_correct
+
+
+def test_bench_caching_counterfactual(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_caching_experiment, args=(bench_scale,),
+        kwargs={"fe_caches_results": True}, iterations=1, rounds=1)
+    print()
+    print(render_caching(result))
+    assert result.detection.caching_detected
+    assert result.detector_correct

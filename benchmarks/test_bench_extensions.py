@@ -1,0 +1,89 @@
+"""Benchmarks: extension studies beyond the paper's figures.
+
+* RFC 2861 idle-reset ablation — quantifies the warm-connection benefit
+  split TCP depends on;
+* residential/mobile access profiles — the reviewers' testbed critique;
+* keyword-effect correlations — reviewer #2's requested analysis.
+"""
+
+from repro.experiments.ablation import run_idle_reset_ablation
+from repro.experiments.keyword_effects import (
+    render_keyword_effects,
+    run_keyword_effects,
+)
+from repro.experiments.report import render_idle_reset
+from repro.experiments.residential import render_residential, run_residential
+from repro.sim import units
+
+
+def test_bench_ablation_idle_reset(benchmark, bench_scale):
+    result = benchmark.pedantic(run_idle_reset_ablation,
+                                args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_idle_reset(result))
+    # Losing the warm window must cost at least one extra FE-BE
+    # round-trip worth of fetch time.
+    assert result.idle_penalty > units.ms(50)
+
+
+def test_bench_residential(benchmark, bench_scale):
+    result = benchmark.pedantic(run_residential, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_residential(result))
+    assert result.rtts_degrade()
+    assert result.placement_relevance_shrinks()
+    campus = result.row("campus")
+    dsl = result.row("residential-dsl")
+    assert campus.fraction_under_20ms > 0.5
+    assert dsl.fraction_under_20ms < 0.2  # the reviewers' point
+
+
+def test_bench_whatif(benchmark, bench_scale):
+    from repro.experiments.whatif import render_whatif, run_whatif
+    from repro.testbed.scenario import Scenario
+
+    result = benchmark.pedantic(run_whatif, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_whatif(result))
+    bing = result.fitted[Scenario.BING].model
+    google = result.fitted[Scenario.GOOGLE].model
+    # The fitted fetch times separate the services like Figure 9 does.
+    assert bing.tfetch > 3 * google.tfetch
+    # The thresholds land in the paper's bands.
+    assert 0.03 <= result.advice[Scenario.GOOGLE].threshold_rtt <= 0.11
+    assert 0.10 <= result.advice[Scenario.BING].threshold_rtt <= 0.26
+    # Bing's population is predominantly fetch-bound.
+    assert result.advice[Scenario.BING].fraction_fetch_bound > 0.5
+
+
+def test_bench_keyword_effects(benchmark, bench_scale):
+    result = benchmark.pedantic(run_keyword_effects, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_keyword_effects(result))
+    assert result.word_count_rho > 0.5
+    assert result.complexity_rho > 0.5
+    assert result.popularity_rho < -0.5
+    cheapest, costliest = result.extremes()
+    assert costliest.tdynamic_median > 1.5 * cheapest.tdynamic_median
+
+
+def test_bench_load_sensitivity(benchmark, bench_scale):
+    from repro.experiments.load_sensitivity import (
+        render_load_sensitivity,
+        run_load_sensitivity,
+    )
+
+    result = benchmark.pedantic(run_load_sensitivity,
+                                args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_load_sensitivity(result))
+    # Shared-FE load inflates the probe's Tstatic (the paper's Akamai
+    # speculation, exhibited mechanistically).
+    assert result.tstatic_inflation() > units.ms(10)
+    peaks = [p.peak_concurrency for p in result.points]
+    assert peaks == sorted(peaks)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 3 (keyword-type effect).
+
+Paper series: Tstatic and Tdynamic moving medians for four keyword
+types against one Bing front-end.  Shape target: Tdynamic separates by
+keyword type, Tstatic does not.
+"""
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.report import render_fig3
+from repro.sim import units
+
+
+def test_bench_fig3(benchmark, bench_scale):
+    result = benchmark.pedantic(run_fig3, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_fig3(result))
+
+    dynamic = result.tdynamic_medians()
+    static = result.tstatic_medians()
+    assert max(dynamic.values()) - min(dynamic.values()) > units.ms(100)
+    assert max(static.values()) - min(static.values()) < units.ms(30)
+    assert result.separation_ratio() > 5

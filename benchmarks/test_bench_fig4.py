@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (packet-event timelines).
+
+Paper series: per-client event timelines at five RTTs; the
+static-to-dynamic gap shrinks with RTT until the deliveries coalesce.
+"""
+
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.report import render_fig4
+from repro.sim import units
+
+
+def test_bench_fig4(benchmark, bench_scale):
+    result = benchmark.pedantic(run_fig4, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_fig4(result))
+
+    assert result.gap_shrinks_with_rtt()
+    assert result.rows[0].gap > units.ms(100)   # separated at small RTT
+    assert result.rows[-1].merged               # lumped at large RTT

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 5 (Tstatic/Tdynamic/Tdelta vs RTT).
+
+Paper series: per-node medians against RTT for one fixed FE per
+service.  Shape targets: Tdelta decreases to zero at ~50-100 ms
+(google-like) vs ~100-200 ms (bing-akamai-like); Tdynamic is flat then
+linear.
+"""
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.report import render_fig5
+from repro.sim import units
+from repro.testbed.scenario import Scenario
+
+
+def test_bench_fig5(benchmark, bench_scale):
+    result = benchmark.pedantic(run_fig5, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_fig5(result))
+
+    thresholds = result.thresholds_ms()
+    assert 30 <= thresholds[Scenario.GOOGLE] <= 110
+    assert 100 <= thresholds[Scenario.BING] <= 260
+    for curves in result.curves.values():
+        tdelta = curves.binned("tdelta")
+        assert tdelta[0][1] > units.ms(10)
+        assert tdelta[-1][1] < units.ms(10)

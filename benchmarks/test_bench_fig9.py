@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 9 (fetch-time factoring).
+
+Paper result: regressing low-RTT Tdynamic on FE-BE distance gives an
+intercept of ~260 ms (Bing) vs ~34 ms (Google) — the back-end
+computation times — with similar per-mile slopes (~0.08-0.099 ms/mile).
+"""
+
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.report import render_fig9
+from repro.testbed.scenario import Scenario
+
+
+def test_bench_fig9(benchmark, bench_scale):
+    result = benchmark.pedantic(run_fig9, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_fig9(result))
+
+    bing = result.panels[Scenario.BING]
+    google = result.panels[Scenario.GOOGLE]
+    assert 180 <= bing.intercept_ms <= 340       # paper: ~260 ms
+    assert 20 <= google.intercept_ms <= 60       # paper: ~34 ms
+    assert 4 <= result.intercept_ratio() <= 14   # paper: ~7.6x
+    for panel in result.panels.values():
+        assert 0.02 < panel.slope_ms_per_mile < 0.2

@@ -1,0 +1,21 @@
+"""Benchmark: Section-6 "search as you type".
+
+Every keystroke triggers a separate query on a new connection; each
+still fits the basic model (bounds hold), and correlated follow-up
+queries do not get slower.
+"""
+
+from repro.experiments.interactive import run_interactive
+from repro.experiments.report import render_interactive
+from repro.sim import units
+
+
+def test_bench_interactive(benchmark, bench_scale):
+    result = benchmark.pedantic(run_interactive, args=(bench_scale,),
+                                iterations=1, rounds=1)
+    print()
+    print(render_interactive(result))
+
+    assert result.distinct_connections() == result.queries
+    assert result.bounds.both_fraction == 1.0
+    assert result.tdynamic_trend() <= units.ms(10)

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Unlike the figure benchmarks (one-shot experiment regenerations), these
+measure the simulator's raw performance across repeated rounds — useful
+for catching performance regressions in the engine, TCP stack, and the
+end-to-end query path.
+"""
+
+from repro.content.keywords import Keyword
+from repro.measure.emulator import QueryEmulator
+from repro.net.address import Endpoint
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.testbed.scenario import Scenario, ScenarioConfig
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Raw event-queue throughput (schedule + dispatch)."""
+
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    executed = benchmark(run_events)
+    assert executed == 20_000
+
+
+def test_bench_tcp_bulk_transfer(benchmark):
+    """Simulated 1 MB TCP transfer, wall-clock cost."""
+    from repro.net.topology import Topology
+    from repro.sim.randomness import RandomStreams
+    from repro.tcp.connection import TcpApp
+    from repro.tcp.host import TcpHost
+
+    payload = bytes(bytearray(i % 251 for i in range(1_000_000)))
+
+    class Responder(TcpApp):
+        def on_data(self, conn, data):
+            conn.send(payload)
+            conn.close()
+
+    class Sink(TcpApp):
+        def __init__(self):
+            self.received = 0
+
+        def on_established(self, conn):
+            conn.send(b"G")
+
+        def on_data(self, conn, data):
+            self.received += len(data)
+
+    def transfer():
+        sim = Simulator()
+        topo = Topology(sim, RandomStreams(0))
+        topo.add_node("client")
+        topo.add_node("server")
+        topo.connect("client", "server", delay=units.ms(20),
+                     bandwidth=units.mbps(500))
+        topo.build_routes()
+        client_host = TcpHost(sim, topo.node("client"))
+        server_host = TcpHost(sim, topo.node("server"))
+        server_host.listen(80, Responder)
+        sink = Sink()
+        client_host.connect(Endpoint("server", 80), sink)
+        sim.run()
+        return sink.received
+
+    received = benchmark(transfer)
+    assert received == len(payload)
+
+
+def test_bench_single_query_end_to_end(benchmark):
+    """One full search query through client -> FE -> BE -> client."""
+    keyword = Keyword(text="micro benchmark query", popularity=0.5,
+                      complexity=0.5)
+
+    def query():
+        scenario = Scenario(ScenarioConfig(seed=50, vantage_count=2))
+        emulator = QueryEmulator(scenario, scenario.vantage_points[0])
+        session = emulator.submit_default(Scenario.GOOGLE, keyword)
+        scenario.sim.run()
+        return session
+
+    session = benchmark(query)
+    assert session.complete

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare the two service architectures (the paper's Section 4.2).
+
+Runs a Dataset-A campaign — every vantage point querying its default
+front-end of both services — and prints the comparison the paper draws:
+the CDN-fronted service has *closer* front-ends (Figure 6) yet delivers
+*slower and more variable* responses (Figures 7 and 8), because the
+FE-BE fetch time and server load dominate.
+
+Run::
+
+    python examples/compare_services.py [--scale tiny|small|paper]
+"""
+
+import argparse
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.dataset_a import (
+    run_dataset_a_experiment,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.report import render_fig6, render_fig7, render_fig8
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "paper"),
+                        help="campaign size (default: tiny)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    scale = getattr(ExperimentScale, args.scale)(seed=args.seed)
+
+    print("Running Dataset-A campaign (%d nodes x %d rounds x 2 services)"
+          % (scale.vantage_count, scale.repeats))
+    experiment = run_dataset_a_experiment(scale)
+
+    print()
+    print(render_fig6(run_fig6(experiment=experiment)))
+    print()
+    print(render_fig7(run_fig7(experiment=experiment)))
+    print()
+    print(render_fig8(run_fig8(experiment=experiment)))
+
+    comparison = experiment.comparison()
+    print()
+    print("Conclusion (paper Sec. 4.2): %s has the closer front-ends, "
+          "but %s delivers faster — placing FE servers closer to users "
+          "is not sufficient; the FE-BE fetch time dominates."
+          % (comparison.closer_frontends(), comparison.faster_overall()))
+
+
+if __name__ == "__main__":
+    main()

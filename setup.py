@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so the package can
+be installed editable (`pip install -e . --no-use-pep517`) in offline
+environments whose setuptools lacks PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

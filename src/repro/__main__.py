@@ -1,0 +1,134 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Runs every figure/section experiment at the requested scale and prints
+the full report.
+
+Usage::
+
+    python -m repro                     # all experiments, tiny scale
+    python -m repro --scale small       # larger campaign
+    python -m repro fig5 fig9           # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentScale,
+    run_cache_ablation,
+    run_idle_reset_ablation,
+    run_keyword_effects,
+    run_residential,
+    run_caching_experiment,
+    run_dataset_a_experiment,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_interactive,
+    run_loss_ablation,
+    run_placement_ablation,
+    run_split_tcp_ablation,
+    run_validation,
+)
+from repro.experiments import report
+
+
+def _dataset_a_bundle(scale):
+    experiment = run_dataset_a_experiment(scale)
+    return "\n\n".join([
+        report.render_fig6(run_fig6(experiment=experiment)),
+        report.render_fig7(run_fig7(experiment=experiment)),
+        report.render_fig8(run_fig8(experiment=experiment)),
+    ])
+
+
+#: name -> callable(scale) -> rendered text
+EXPERIMENTS = {
+    "fig3": lambda scale: report.render_fig3(run_fig3(scale)),
+    "fig4": lambda scale: report.render_fig4(run_fig4(scale)),
+    "fig5": lambda scale: report.render_fig5(run_fig5(scale)),
+    "fig678": _dataset_a_bundle,
+    "fig9": lambda scale: report.render_fig9(run_fig9(scale)),
+    "caching": lambda scale: "\n\n".join([
+        report.render_caching(run_caching_experiment(scale)),
+        report.render_caching(run_caching_experiment(
+            scale, fe_caches_results=True))]),
+    "bounds": lambda scale: report.render_validation(
+        run_validation(scale)),
+    "interactive": lambda scale: report.render_interactive(
+        run_interactive(scale)),
+    "ablations": lambda scale: "\n".join([
+        report.render_split_tcp(run_split_tcp_ablation(scale)),
+        report.render_cache_ablation(run_cache_ablation(scale)),
+        report.render_placement(run_placement_ablation(scale)),
+        report.render_idle_reset(run_idle_reset_ablation(scale)),
+        report.render_loss(run_loss_ablation(scale))]),
+    "residential": lambda scale: _render_residential(scale),
+    "keywords": lambda scale: _render_keyword_effects(scale),
+    "whatif": lambda scale: _render_whatif(scale),
+    "load": lambda scale: _render_load(scale),
+}
+
+
+def _render_residential(scale):
+    from repro.experiments.residential import render_residential
+    return render_residential(run_residential(scale))
+
+
+def _render_keyword_effects(scale):
+    from repro.experiments.keyword_effects import render_keyword_effects
+    return render_keyword_effects(run_keyword_effects(scale))
+
+
+def _render_whatif(scale):
+    from repro.experiments.whatif import render_whatif, run_whatif
+    return render_whatif(run_whatif(scale))
+
+
+def _render_load(scale):
+    from repro.experiments.load_sensitivity import (
+        render_load_sensitivity,
+        run_load_sensitivity,
+    )
+    return render_load_sensitivity(run_load_sensitivity(scale))
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures from the simulated "
+                    "measurement universe.")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="subset to run (default: all); one of: %s"
+                             % ", ".join(EXPERIMENTS))
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    unknown = [name for name in args.experiments
+               if name not in EXPERIMENTS]
+    if unknown:
+        parser.error("unknown experiment(s) %s; choose from %s"
+                     % (", ".join(unknown), ", ".join(EXPERIMENTS)))
+    scale = getattr(ExperimentScale, args.scale)(seed=args.seed)
+    names = args.experiments or list(EXPERIMENTS)
+    for name in names:
+        start = time.time()
+        print("=" * 72)
+        print(EXPERIMENTS[name](scale))
+        print("[%s completed in %.1fs]" % (name, time.time() - start))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

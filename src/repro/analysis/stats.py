@@ -1,0 +1,161 @@
+"""Statistical helpers used throughout the analysis.
+
+Everything the paper's plots need: moving medians (Figure 3 smooths with
+a window of 10), empirical CDFs (Figure 6), box-plot statistics
+(Figure 8), per-bin medians against an x variable (Figure 5), and
+ordinary least-squares linear regression (Figure 9's fit lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def median(values: Sequence[float]) -> float:
+    """Plain median; raises on empty input."""
+    if len(values) == 0:
+        raise ValueError("median of empty sequence")
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (q in [0, 100])."""
+    if len(values) == 0:
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def moving_median(values: Sequence[float], window: int = 10) -> List[float]:
+    """Moving median with a trailing window (paper's Figure 3 smoothing).
+
+    The first ``window - 1`` outputs use the values available so far, so
+    the result has the same length as the input.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    out = []
+    buffer: List[float] = []
+    for value in values:
+        buffer.append(value)
+        if len(buffer) > window:
+            buffer.pop(0)
+        out.append(median(buffer))
+    return out
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, fraction <= value) steps."""
+    if len(values) == 0:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values strictly below ``threshold``."""
+    if len(values) == 0:
+        raise ValueError("fraction_below of empty sequence")
+    return sum(1 for v in values if v < threshold) / len(values)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary used for the paper's Figure 8 box plots."""
+
+    low_whisker: float
+    q1: float
+    median: float
+    q3: float
+    high_whisker: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Tukey box-plot statistics (whiskers at 1.5 IQR, clamped to data)."""
+    if len(values) == 0:
+        raise ValueError("box_stats of empty sequence")
+    arr = np.asarray(values, dtype=float)
+    q1, q2, q3 = (float(np.percentile(arr, q)) for q in (25, 50, 75))
+    iqr = q3 - q1
+    low = float(arr[arr >= q1 - 1.5 * iqr].min())
+    high = float(arr[arr <= q3 + 1.5 * iqr].max())
+    # Interpolated quartiles may not be data points; whiskers must still
+    # bracket the box.
+    low = min(low, q1)
+    high = max(high, q3)
+    return BoxStats(low, q1, q2, q3, high)
+
+
+def binned_medians(x: Sequence[float], y: Sequence[float],
+                   bin_width: float) -> List[Tuple[float, float]]:
+    """Median of ``y`` per ``x`` bin; returns (bin_center, median) pairs.
+
+    Bins with no samples are omitted.  This is how Figure 5's per-RTT
+    median curves are computed.
+    """
+    if len(x) != len(y):
+        raise ValueError("x and y must be the same length")
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    buckets: Dict[int, List[float]] = {}
+    for xi, yi in zip(x, y):
+        buckets.setdefault(int(xi // bin_width), []).append(yi)
+    return [((index + 0.5) * bin_width, median(values))
+            for index, values in sorted(buckets.items())]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary least-squares line fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Least-squares fit; raises for fewer than two distinct x values."""
+    if len(x) != len(y):
+        raise ValueError("x and y must be the same length")
+    if len(x) < 2:
+        raise ValueError("need at least two points to fit a line")
+    arr_x = np.asarray(x, dtype=float)
+    arr_y = np.asarray(y, dtype=float)
+    spread = float(np.ptp(arr_x))
+    scale = float(np.max(np.abs(arr_x))) if len(arr_x) else 0.0
+    if spread == 0.0 or spread < 1e-12 * max(1.0, scale):
+        raise ValueError("x values are (numerically) all identical")
+    slope, intercept = np.polyfit(arr_x, arr_y, 1)
+    predicted = slope * arr_x + intercept
+    ss_res = float(np.sum((arr_y - predicted) ** 2))
+    ss_tot = float(np.sum((arr_y - arr_y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(float(slope), float(intercept), r_squared, len(x))
+
+
+def summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / std / spread summary used by comparison tables."""
+    if len(values) == 0:
+        raise ValueError("summary of empty sequence")
+    arr = np.asarray(values, dtype=float)
+    return {
+        "n": float(len(arr)),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "std": float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        "p10": float(np.percentile(arr, 10)),
+        "p90": float(np.percentile(arr, 90)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

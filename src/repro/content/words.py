@@ -1,0 +1,60 @@
+"""Vocabulary used to synthesise search keywords and result snippets.
+
+The paper drove its measurements with keyword sets of varying popularity
+(taken from Bing's trending list), granularity (progressively refined
+phrases such as "Computer Science Department at University of Minnesota")
+and complexity (uncorrelated mixtures like "computer and potato").  The
+word pools below let the keyword generator build all three classes
+deterministically.
+"""
+
+from __future__ import annotations
+
+#: Words that anchor popular, heavily cached queries.
+POPULAR_TOPICS = (
+    "weather", "news", "maps", "youtube", "facebook", "music", "movies",
+    "games", "sports", "stocks", "election", "olympics", "recipes",
+    "travel", "jobs", "lottery", "horoscope", "celebrity", "fashion",
+    "football",
+)
+
+#: Academic/technical nouns used to build refined multi-word queries.
+TOPIC_NOUNS = (
+    "computer", "science", "department", "university", "minnesota",
+    "network", "measurement", "performance", "distribution", "content",
+    "dynamic", "server", "cloud", "computing", "mobile", "search",
+    "engine", "protocol", "latency", "bandwidth", "proxy", "cache",
+    "datacenter", "internet", "systems", "analysis", "research",
+    "laboratory", "institute", "conference",
+)
+
+#: Deliberately uncorrelated words for "complex" mixture queries
+#: (the paper's example: "computer and potato").
+UNCORRELATED_NOUNS = (
+    "potato", "umbrella", "giraffe", "accordion", "volcano", "pancake",
+    "submarine", "cactus", "trombone", "walrus", "origami", "lighthouse",
+    "marmalade", "tundra", "catapult", "bagpipe", "glacier", "teapot",
+    "zeppelin", "mongoose",
+)
+
+#: Filler words for generating result snippets and ad copy.
+SNIPPET_WORDS = (
+    "the", "of", "and", "a", "to", "in", "is", "for", "on", "with",
+    "as", "by", "at", "from", "this", "that", "are", "be", "or", "an",
+    "service", "official", "site", "page", "home", "free", "online",
+    "best", "top", "new", "guide", "information", "about", "find",
+    "results", "learn", "more", "get", "your", "here",
+)
+
+#: Static navigation entries rendered on every result page (the paper
+#: calls out "Videos", "News", "Shopping" as part of the cached static
+#: portion).
+STATIC_MENU_ITEMS = (
+    "Web", "Images", "Videos", "News", "Shopping", "Maps", "More",
+)
+
+#: Keyword-dependent navigation entries (part of the dynamic portion).
+DYNAMIC_MENU_ITEMS = (
+    "Related searches", "Search history", "Advanced", "Translate",
+    "Books", "Places", "Discussions",
+)

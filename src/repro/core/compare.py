@@ -1,0 +1,113 @@
+"""Service comparison (Section 4.2).
+
+Aggregates per-service distributions of the paper's metrics — RTT to the
+default FE (Figure 6), Tstatic and Tdynamic (Figure 7), and the overall
+delay (Figure 8) — and renders the comparison the paper draws: the CDN-
+fronted service has *closer* front-ends yet *slower and more variable*
+delivery, because fetch time and server load dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import fraction_below, summary
+from repro.core.metrics import QueryMetrics
+from repro.sim import units
+
+
+@dataclass(frozen=True)
+class ServiceSummary:
+    """Distribution summaries of one service's measurements."""
+
+    service: str
+    rtt: Dict[str, float]
+    tstatic: Dict[str, float]
+    tdynamic: Dict[str, float]
+    tdelta: Dict[str, float]
+    overall: Dict[str, float]
+    rtt_fraction_under_20ms: float
+
+
+def summarize_service(service: str,
+                      metrics: Sequence[QueryMetrics]) -> ServiceSummary:
+    """Summaries for one service from extracted metrics."""
+    if not metrics:
+        raise ValueError("no metrics for service %r" % service)
+    rtts = [m.rtt for m in metrics]
+    return ServiceSummary(
+        service=service,
+        rtt=summary(rtts),
+        tstatic=summary([m.tstatic for m in metrics]),
+        tdynamic=summary([m.tdynamic for m in metrics]),
+        tdelta=summary([m.tdelta for m in metrics]),
+        overall=summary([m.overall_delay for m in metrics]),
+        rtt_fraction_under_20ms=fraction_below(rtts, units.ms(20)))
+
+
+@dataclass
+class ComparisonReport:
+    """The Section-4.2 comparison between two services."""
+
+    first: ServiceSummary
+    second: ServiceSummary
+
+    def closer_frontends(self) -> str:
+        """Which service's default FEs are closer (lower median RTT)."""
+        return (self.first.service
+                if self.first.rtt["median"] < self.second.rtt["median"]
+                else self.second.service)
+
+    def faster_overall(self) -> str:
+        """Which service delivers lower median overall delay."""
+        return (self.first.service
+                if self.first.overall["median"] < self.second.overall["median"]
+                else self.second.service)
+
+    def more_variable(self) -> str:
+        """Which service shows higher overall-delay spread (std)."""
+        return (self.first.service
+                if self.first.overall["std"] > self.second.overall["std"]
+                else self.second.service)
+
+    @property
+    def paradox_present(self) -> bool:
+        """The paper's headline: the closer-FE service is NOT the faster.
+
+        True when the service with closer front-ends has *worse* median
+        overall delay — proximity lost to fetch time and load.
+        """
+        return self.closer_frontends() != self.faster_overall()
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular form (one row per service) for report printing."""
+        rows = []
+        for s in (self.first, self.second):
+            rows.append({
+                "service": s.service,
+                "rtt_median_ms": units.seconds_to_ms(s.rtt["median"]),
+                "rtt_under_20ms": s.rtt_fraction_under_20ms,
+                "tstatic_median_ms":
+                    units.seconds_to_ms(s.tstatic["median"]),
+                "tstatic_std_ms": units.seconds_to_ms(s.tstatic["std"]),
+                "tdynamic_median_ms":
+                    units.seconds_to_ms(s.tdynamic["median"]),
+                "tdynamic_std_ms": units.seconds_to_ms(s.tdynamic["std"]),
+                "overall_median_ms":
+                    units.seconds_to_ms(s.overall["median"]),
+                "overall_std_ms": units.seconds_to_ms(s.overall["std"]),
+            })
+        return rows
+
+
+def compare_services(metrics_by_service: Dict[str, Sequence[QueryMetrics]]
+                     ) -> ComparisonReport:
+    """Build the comparison report from per-service metrics."""
+    if len(metrics_by_service) != 2:
+        raise ValueError("comparison needs exactly two services, got %d"
+                         % len(metrics_by_service))
+    names = sorted(metrics_by_service)
+    return ComparisonReport(
+        first=summarize_service(names[0], metrics_by_service[names[0]]),
+        second=summarize_service(names[1], metrics_by_service[names[1]]))

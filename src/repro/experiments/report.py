@@ -1,0 +1,273 @@
+"""Textual rendering of experiment results.
+
+Each ``render_*`` function prints the rows/series the corresponding
+paper figure reports, in plain text, so benchmark runs regenerate a
+readable version of the evaluation.  All times are printed in
+milliseconds (the paper's unit).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import (
+    CacheAblationResult,
+    IdleResetAblationResult,
+    LossAblationResult,
+    PlacementAblationResult,
+    SplitTcpAblationResult,
+)
+from repro.experiments.caching import CachingExperimentResult
+from repro.experiments.dataset_a import Fig6Result, Fig7Result, Fig8Result
+from repro.experiments.fig3 import Fig3Result
+from repro.experiments.fig4 import Fig4Result, render_timelines
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig9 import Fig9Result
+from repro.experiments.interactive import InteractiveResult
+from repro.experiments.validation import ValidationResult
+from repro.analysis.charts import cdf_plot, hbox_plot, scatter
+from repro.sim import units
+
+
+def _ms(seconds: float) -> str:
+    return "%.1f" % units.seconds_to_ms(seconds)
+
+
+def render_fig3(result: Fig3Result) -> str:
+    """Figure 3 rows: per-keyword Tstatic/Tdynamic medians."""
+    lines = ["Figure 3 — keyword-type effect on Tstatic / Tdynamic "
+             "(%s)" % result.service]
+    lines.append("%-40s %14s %14s" % ("keyword", "Tstatic(ms)",
+                                      "Tdynamic(ms)"))
+    tsta = result.tstatic_medians()
+    tdyn = result.tdynamic_medians()
+    for text in result.series:
+        lines.append("%-40s %14s %14s"
+                     % (text[:40], _ms(tsta[text]), _ms(tdyn[text])))
+    lines.append("separation ratio (dyn spread / static spread): %.1f"
+                 % result.separation_ratio())
+    return "\n".join(lines)
+
+
+def render_fig4(result: Fig4Result) -> str:
+    """Figure 4: ASCII timelines plus the per-RTT gap table."""
+    lines = ["Figure 4 — packet-event timelines (%s)" % result.service]
+    lines.append(render_timelines(result))
+    lines.append("RTT(ms)   static→dynamic gap(ms)   merged?")
+    for row in result.rows:
+        lines.append("%7.1f   %22s   %s"
+                     % (units.seconds_to_ms(row.target_rtt),
+                        _ms(row.gap), "yes" if row.merged else "no"))
+    return "\n".join(lines)
+
+
+def render_fig5(result: Fig5Result) -> str:
+    """Figure 5: binned medians, thresholds, Tdelta scatter."""
+    lines = ["Figure 5 — Tstatic / Tdynamic / Tdelta vs RTT"]
+    for name, curves in sorted(result.curves.items()):
+        lines.append("[%s]  fixed FE: %s" % (name, curves.fe_name))
+        lines.append("  %-12s %12s %12s %12s"
+                     % ("RTT bin(ms)", "Tstatic", "Tdynamic", "Tdelta"))
+        tsta = dict(curves.binned("tstatic"))
+        tdyn = dict(curves.binned("tdynamic"))
+        tdel = dict(curves.binned("tdelta"))
+        for center in sorted(tdyn):
+            lines.append("  %-12.0f %12s %12s %12s"
+                         % (units.seconds_to_ms(center),
+                            _ms(tsta.get(center, float("nan")))
+                            if center in tsta else "-",
+                            _ms(tdyn[center]),
+                            _ms(tdel.get(center, 0.0))))
+        if curves.threshold is not None:
+            lines.append("  Tdelta extinction threshold: ~%.0f ms"
+                         % units.seconds_to_ms(
+                             curves.threshold.threshold_rtt))
+    series = {name: [(units.seconds_to_ms(x), units.seconds_to_ms(y))
+                     for x, y in curves.tdelta]
+              for name, curves in sorted(result.curves.items())}
+    if any(series.values()):
+        lines.append("Tdelta vs RTT (per-node medians, ms):")
+        lines.append(scatter(series, xlabel="RTT ms", ylabel="Tdelta ms"))
+    return "\n".join(lines)
+
+
+def render_fig6(result: Fig6Result) -> str:
+    """Figure 6: under-20ms fractions, quartiles, RTT CDFs."""
+    lines = ["Figure 6 — RTT to default front-end (CDF)"]
+    for service, fraction in sorted(result.under_20ms.items()):
+        lines.append("  %-16s: %4.0f%% of nodes under 20 ms"
+                     % (service, fraction * 100))
+    for service, cdf in sorted(result.cdfs.items()):
+        deciles = [cdf[int(len(cdf) * q) - 1][0]
+                   for q in (0.25, 0.5, 0.75, 0.9)] if cdf else []
+        lines.append("  %-16s  RTT quartiles (ms): %s"
+                     % (service, ", ".join(_ms(v) for v in deciles)))
+    series = {service: [(units.seconds_to_ms(x), f) for x, f in cdf]
+              for service, cdf in sorted(result.cdfs.items())}
+    if any(series.values()):
+        lines.append(cdf_plot(series, xlabel="RTT ms"))
+    return "\n".join(lines)
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """Figure 7 comparison rows and the placement paradox."""
+    lines = ["Figure 7 — Tstatic / Tdynamic with default front-ends"]
+    lines.append("%-16s %10s %12s %12s %12s %12s"
+                 % ("service", "rtt_med", "tsta_med", "tsta_std",
+                    "tdyn_med", "tdyn_std"))
+    for row in result.comparison.rows():
+        lines.append("%-16s %10.1f %12.1f %12.1f %12.1f %12.1f"
+                     % (row["service"], row["rtt_median_ms"],
+                        row["tstatic_median_ms"], row["tstatic_std_ms"],
+                        row["tdynamic_median_ms"],
+                        row["tdynamic_std_ms"]))
+    lines.append("closer FEs: %s; faster overall: %s; paradox: %s"
+                 % (result.comparison.closer_frontends(),
+                    result.comparison.faster_overall(),
+                    result.comparison.paradox_present))
+    return "\n".join(lines)
+
+
+def render_fig8(result: Fig8Result) -> str:
+    """Figure 8: per-node overall-delay box plots."""
+    from repro.analysis.stats import BoxStats
+
+    lines = ["Figure 8 — overall delay per vantage point (box stats, ms)"]
+    for service, boxes in sorted(result.boxes.items()):
+        lines.append("[%s] (%d nodes)" % (service, len(boxes)))
+        shown = [(vp_name, BoxStats(*(units.seconds_to_ms(v) for v in
+                                      (box.low_whisker, box.q1,
+                                       box.median, box.q3,
+                                       box.high_whisker))))
+                 for vp_name, box in boxes[:10]]
+        lines.append(hbox_plot(shown, value_format="%.0fms"))
+        if len(boxes) > 10:
+            lines.append("  ... (%d more nodes)" % (len(boxes) - 10))
+    lines.append("more variable service: %s"
+                 % result.comparison.more_variable())
+    return "\n".join(lines)
+
+
+def render_fig9(result: Fig9Result) -> str:
+    """Figure 9: per-FE points, fits, and the intercept ratio."""
+    lines = ["Figure 9 — Tdynamic vs FE-BE distance (regression)"]
+    for service, panel in sorted(result.panels.items()):
+        fit = panel.factoring.fit
+        lines.append("[%s] backend=%s" % (service, panel.backend_name))
+        lines.append("  fit: y = %.3f ms/mile * x + %.0f ms  (r2=%.2f, "
+                     "%d FEs)" % (panel.slope_ms_per_mile,
+                                  panel.intercept_ms, fit.r_squared,
+                                  len(panel.factoring.points)))
+        for point in panel.factoring.points:
+            lines.append("    %-36s %6.0f mi  Tdyn=%7s ms (n=%d)"
+                         % (point.fe_name, point.distance_miles,
+                            _ms(point.tdynamic_median), point.samples))
+    series = {}
+    for service, panel in sorted(result.panels.items()):
+        series[service] = [(p.distance_miles,
+                            units.seconds_to_ms(p.tdynamic_median))
+                           for p in panel.factoring.points]
+    lines.append(scatter(series, xlabel="FE-BE miles",
+                         ylabel="Tdynamic ms"))
+    lines.append("intercept ratio (bing/google): %.1fx"
+                 % result.intercept_ratio())
+    lines.append("slopes similar: %s" % result.slopes_similar())
+    return "\n".join(lines)
+
+
+def render_caching(result: CachingExperimentResult) -> str:
+    """Section-3 caching verdict for one deployment."""
+    lines = ["Section 3 — FE result-caching detection (%s)"
+             % result.service]
+    lines.append("  simulator caching enabled: %s"
+                 % result.caching_enabled_in_simulator)
+    lines.append("  same-query median Tdynamic:     %s ms"
+                 % _ms(result.detection.median_same))
+    lines.append("  distinct-query median Tdynamic: %s ms"
+                 % _ms(result.detection.median_distinct))
+    lines.append("  " + result.detection.verdict())
+    lines.append("  detector correct: %s" % result.detector_correct)
+    return "\n".join(lines)
+
+
+def render_validation(result: ValidationResult) -> str:
+    """Eq. 1 bound-validity and proxy-error summary."""
+    lines = ["Eq. 1 validation — Tdelta <= Tfetch <= Tdynamic (%s)"
+             % result.service]
+    lines.append("  samples: %d" % result.bounds.n)
+    lines.append("  lower bound holds: %5.1f%%"
+                 % (result.bounds.lower_fraction * 100))
+    lines.append("  upper bound holds: %5.1f%%"
+                 % (result.bounds.upper_fraction * 100))
+    lines.append("  mean bound gap: %s ms" % _ms(result.bounds.mean_gap))
+    lines.append("  Tdynamic-as-Tfetch proxy, median rel. error at "
+                 "RTT<40ms: %.1f%%"
+                 % (result.proxy_error_below_rtt(0.040) * 100))
+    return "\n".join(lines)
+
+
+def render_interactive(result: InteractiveResult) -> str:
+    """Section-6 search-as-you-type summary."""
+    lines = ["Section 6 — search-as-you-type (%s)" % result.service]
+    lines.append("  phrase: %r (%d per-letter queries, %d connections)"
+                 % (result.phrase, result.queries,
+                    result.distinct_connections()))
+    lines.append("  bounds hold on every keystroke: %s"
+                 % (result.bounds.both_fraction == 1.0))
+    lines.append("  Tdynamic trend late-vs-early: %+0.1f ms"
+                 % units.seconds_to_ms(result.tdynamic_trend()))
+    return "\n".join(lines)
+
+
+def render_split_tcp(result: SplitTcpAblationResult) -> str:
+    """One-line split-TCP ablation summary."""
+    return ("Ablation — split TCP (%s): split=%sms direct=%sms "
+            "speedup=%.2fx (n=%d)"
+            % (result.service, _ms(result.split_median),
+               _ms(result.direct_median), result.speedup, result.samples))
+
+
+def render_cache_ablation(result: CacheAblationResult) -> str:
+    """One-line FE-static-cache ablation summary."""
+    return ("Ablation — FE static cache (%s): TTFB %sms -> %sms, "
+            "overall %sms -> %sms (cache off)"
+            % (result.service, _ms(result.ttfb_cached),
+               _ms(result.ttfb_uncached), _ms(result.overall_cached),
+               _ms(result.overall_uncached)))
+
+
+def render_placement(result: PlacementAblationResult) -> str:
+    """Placement-density sweep table."""
+    lines = ["Ablation — FE placement density (%s)" % result.service]
+    lines.append("  %-10s %14s %16s" % ("coverage", "median RTT",
+                                        "median overall"))
+    for point in result.points:
+        lines.append("  %-10.2f %12s ms %14s ms"
+                     % (point.coverage, _ms(point.median_rtt),
+                        _ms(point.median_overall)))
+    lines.append("  RTT gained: %s ms; overall gained: %s ms"
+                 % (_ms(result.rtt_gain()), _ms(result.overall_gain())))
+    return "\n".join(lines)
+
+
+def render_loss(result: LossAblationResult) -> str:
+    """Last-hop loss sweep table."""
+    lines = ["Ablation — last-hop loss sweep (%s)" % result.service]
+    lines.append("  %-10s %12s %12s %14s"
+                 % ("loss", "split(ms)", "direct(ms)", "advantage(ms)"))
+    for point in result.points:
+        lines.append("  %-10.3f %12s %12s %14s"
+                     % (point.loss_rate, _ms(point.split_median),
+                        _ms(point.direct_median),
+                        _ms(point.split_advantage)))
+    lines.append("  advantage grows with loss: %s"
+                 % result.advantage_grows_with_loss())
+    return "\n".join(lines)
+
+
+def render_idle_reset(result: IdleResetAblationResult) -> str:
+    """One-line RFC 2861 idle-reset ablation summary."""
+    return ("Ablation — RFC 2861 idle reset on FE-BE connections (%s): "
+            "warm Tfetch=%sms, idle-reset Tfetch=%sms, penalty=%sms "
+            "per query (n=%d)"
+            % (result.service, _ms(result.warm_tfetch_median),
+               _ms(result.cold_tfetch_median), _ms(result.idle_penalty),
+               result.samples))

@@ -1,0 +1,77 @@
+"""What-if placement advice for both services (paper's closing claim).
+
+Fits the Section-2 model to Dataset-B measurements of each service and
+prints the operator-facing placement advice from
+:mod:`repro.core.whatif` — the "guide ... better content placement and
+delivery strategies" step the paper motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.content.keywords import Keyword
+from repro.core.metrics import extract_all_calibrated
+from repro.core.whatif import FittedModel, PlacementAdvice, advise_placement, fit_model
+from repro.experiments.common import (
+    ExperimentScale,
+    build_scenario,
+    calibrate_service,
+)
+from repro.measure.driver import run_dataset_b
+from repro.sim import units
+from repro.testbed.scenario import Scenario
+
+WHATIF_KEYWORD = Keyword(text="placement advice probe", popularity=0.5,
+                         complexity=0.5)
+
+
+@dataclass
+class WhatIfResult:
+    """Fitted models and advice per service."""
+
+    fitted: Dict[str, FittedModel]
+    advice: Dict[str, PlacementAdvice]
+
+
+def run_whatif(scale: Optional[ExperimentScale] = None) -> WhatIfResult:
+    """Measure both services and fit the placement model to each."""
+    scale = scale or ExperimentScale.small()
+    fitted, advice = {}, {}
+    for service_name in (Scenario.GOOGLE, Scenario.BING):
+        scenario = build_scenario(scale)
+        service = scenario.service(service_name)
+        frontend = service.frontends[0]
+        calibration = calibrate_service(scenario, service_name,
+                                        [frontend])
+        dataset = run_dataset_b(scenario, service_name, frontend,
+                                WHATIF_KEYWORD,
+                                repeats=max(4, scale.repeats // 2),
+                                interval=scale.interval)
+        metrics = extract_all_calibrated(dataset.sessions, calibration)
+        fitted[service_name] = fit_model(metrics)
+        advice[service_name] = advise_placement(metrics)
+    return WhatIfResult(fitted=fitted, advice=advice)
+
+
+def render_whatif(result: WhatIfResult) -> str:
+    """Text report of the fitted models and placement advice."""
+    lines = ["What-if placement analysis (Section-2 model fitted to "
+             "measurements)"]
+    for service_name in sorted(result.fitted):
+        fitted = result.fitted[service_name]
+        advice = result.advice[service_name]
+        model = fitted.model
+        lines.append("[%s]" % service_name)
+        lines.append("  fitted: fe_delay=%.1fms  Tfetch=%.1fms  "
+                     "k=%d windows  (n=%d)"
+                     % (units.seconds_to_ms(model.fe_delay),
+                        units.seconds_to_ms(model.tfetch),
+                        model.static_windows, fitted.samples))
+        lines.append("  placement threshold: %.0f ms RTT; "
+                     "fetch-bound clients: %.0f%%"
+                     % (units.seconds_to_ms(advice.threshold_rtt),
+                        advice.fraction_fetch_bound * 100))
+        lines.append("  advice: %s" % advice.recommendation)
+    return "\n".join(lines)

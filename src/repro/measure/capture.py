@@ -1,0 +1,123 @@
+"""Client-side packet capture (the simulated tcpdump).
+
+A :class:`PacketCapture` attaches to a node as a tap and records one
+:class:`PacketEvent` per packet the node sends or receives — timestamp,
+direction, addressing, TCP flags/sequence numbers, and (optionally) the
+payload bytes.  The analysis pipeline consumes *only* these events, never
+simulator internals, mirroring how the paper works exclusively from
+tcpdump traces.
+
+Payload storage is optional because large campaigns (hundreds of nodes x
+hundreds of queries) don't need bodies for every query: the content
+analysis that locates the static/dynamic boundary runs on a small
+calibration set with payloads on, after which temporal classification
+needs only sequence numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.segment import Segment
+
+
+@dataclass(frozen=True)
+class PacketEvent:
+    """One captured packet, as tcpdump would log it."""
+
+    time: float
+    direction: str          # "out" or "in"
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    wire_size: int
+    payload_len: int
+    seq: int
+    ack: int
+    syn: bool
+    fin: bool
+    ack_flag: bool
+    retransmit: bool
+    payload: Optional[bytes] = None
+
+    @property
+    def is_pure_ack(self) -> bool:
+        return (self.ack_flag and self.payload_len == 0
+                and not self.syn and not self.fin)
+
+    @property
+    def local_port(self) -> int:
+        """The captured host's port for this packet."""
+        return self.sport if self.direction == "out" else self.dport
+
+    def describe(self) -> str:
+        """tcpdump-style one-liner."""
+        arrow = ">" if self.direction == "out" else "<"
+        flags = "".join(c for f, c in ((self.syn, "S"), (self.fin, "F"),
+                                       (self.ack_flag, ".")) if f)
+        return "%.6f %s %s:%d %s %s:%d [%s] seq=%d ack=%d len=%d" % (
+            self.time, arrow, self.src, self.sport, arrow,
+            self.dst, self.dport, flags, self.seq, self.ack,
+            self.payload_len)
+
+
+class PacketCapture:
+    """Tap-based packet recorder for one host."""
+
+    def __init__(self, sim: Simulator, node: Node,
+                 store_payload: bool = False):
+        self.sim = sim
+        self.node = node
+        self.store_payload = store_payload
+        self.events: List[PacketEvent] = []
+        self._tap: Optional[Callable] = None
+        self.attach()
+
+    def attach(self) -> None:
+        if self._tap is not None:
+            return
+        self._tap = self._observe
+        self.node.add_tap(self._tap)
+
+    def detach(self) -> None:
+        if self._tap is not None:
+            self.node.remove_tap(self._tap)
+            self._tap = None
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # ------------------------------------------------------------------
+    def _observe(self, event: str, packet: Packet) -> None:
+        if event not in ("send", "recv"):
+            return
+        segment = packet.payload
+        if not isinstance(segment, Segment):
+            return
+        direction = "out" if event == "send" else "in"
+        self.events.append(PacketEvent(
+            time=self.sim.now,
+            direction=direction,
+            src=packet.src, dst=packet.dst,
+            sport=segment.sport, dport=segment.dport,
+            wire_size=packet.size_bytes,
+            payload_len=len(segment.data),
+            seq=segment.seq, ack=segment.ack,
+            syn=segment.syn, fin=segment.fin,
+            ack_flag=segment.ack_flag,
+            retransmit=segment.retransmit,
+            payload=segment.data if self.store_payload else None))
+
+    # ------------------------------------------------------------------
+    def flow_events(self, local_port: int,
+                    start: float = 0.0,
+                    end: float = float("inf")) -> List[PacketEvent]:
+        """Events of one connection (by the host's local port), within a
+        time window — the per-session trace slice."""
+        return [e for e in self.events
+                if e.local_port == local_port and start <= e.time < end]

@@ -1,0 +1,174 @@
+"""Experiment drivers: the paper's two measurement campaigns.
+
+* **Datasets A** — every vantage point queries its *default* (DNS-
+  resolved) front-end server of each service every ``interval`` seconds.
+* **Datasets B** — one *fixed* front-end server per service; every
+  vantage point queries it repeatedly with the same keyword.
+
+Both drivers stagger vantage-point start times so queries don't
+synchronise, run the simulation to completion, and return dataset objects
+holding completed :class:`~repro.measure.session.QuerySession` lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.content.keywords import Keyword
+from repro.measure.emulator import QueryEmulator
+from repro.measure.session import QuerySession
+from repro.services.frontend import FrontEndServer
+from repro.sim.process import Sleep, spawn
+from repro.testbed.scenario import Scenario
+from repro.testbed.vantage import VantagePoint
+
+
+@dataclass
+class DatasetA:
+    """Default-FE campaign results (paper's Datasets A)."""
+
+    sessions: List[QuerySession] = field(default_factory=list)
+    #: (vp_name, service) -> (fe_name, rtt_seconds)
+    default_fe: Dict[Tuple[str, str], Tuple[str, float]] = \
+        field(default_factory=dict)
+
+    def for_service(self, service: str) -> List[QuerySession]:
+        return [s for s in self.sessions if s.service == service]
+
+    def for_vp(self, vp_name: str, service: Optional[str] = None
+               ) -> List[QuerySession]:
+        return [s for s in self.sessions
+                if s.vp_name == vp_name
+                and (service is None or s.service == service)]
+
+
+@dataclass
+class DatasetB:
+    """Fixed-FE campaign results (paper's Datasets B) for one service."""
+
+    service: str
+    fe_name: str
+    sessions: List[QuerySession] = field(default_factory=list)
+
+    def for_vp(self, vp_name: str) -> List[QuerySession]:
+        return [s for s in self.sessions if s.vp_name == vp_name]
+
+
+def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
+                  repeats: int = 10,
+                  interval: float = 10.0,
+                  services: Optional[Sequence[str]] = None,
+                  vantage_points: Optional[Sequence[VantagePoint]] = None,
+                  store_payload: bool = False,
+                  run_timeout: Optional[float] = None) -> DatasetA:
+    """Run the default-FE campaign and return its sessions.
+
+    Each vantage point issues ``repeats`` rounds; in every round it sends
+    one query per service (cycling through ``keywords``), then sleeps
+    ``interval`` seconds.
+    """
+    if not keywords:
+        raise ValueError("need at least one keyword")
+    services = list(services or scenario.services)
+    vps = list(vantage_points or scenario.vantage_points)
+    dataset = DatasetA()
+    emulators = []
+
+    for index, vp in enumerate(vps):
+        emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
+        emulators.append(emulator)
+        frontends = {}
+        for service_name in services:
+            frontend, rtt = scenario.connect_default(service_name, vp)
+            frontends[service_name] = frontend
+            dataset.default_fe[(vp.name, service_name)] = \
+                (frontend.node.name, rtt)
+        stagger = (index / max(1, len(vps))) * interval
+        spawn(scenario.sim,
+              _vp_loop(scenario, emulator, frontends, keywords,
+                       repeats, interval, stagger))
+
+    scenario.sim.run(until=run_timeout)
+    for emulator in emulators:
+        dataset.sessions.extend(emulator.sessions)
+    return dataset
+
+
+def _vp_loop(scenario: Scenario, emulator: QueryEmulator,
+             frontends: Dict[str, FrontEndServer],
+             keywords: Sequence[Keyword], repeats: int,
+             interval: float, stagger: float):
+    """Per-vantage-point query loop (a simulator process)."""
+    if stagger > 0:
+        yield Sleep(stagger)
+    for round_index in range(repeats):
+        keyword = keywords[round_index % len(keywords)]
+        for service_name, frontend in frontends.items():
+            emulator.submit(service_name, frontend, keyword)
+        yield Sleep(interval)
+
+
+def run_dataset_b(scenario: Scenario, service_name: str,
+                  frontend: FrontEndServer, keyword: Keyword, *,
+                  repeats: int = 10,
+                  interval: float = 10.0,
+                  vantage_points: Optional[Sequence[VantagePoint]] = None,
+                  store_payload: bool = False,
+                  run_timeout: Optional[float] = None) -> DatasetB:
+    """Run the fixed-FE campaign for one service and return its sessions."""
+    vps = list(vantage_points or scenario.vantage_points)
+    service = scenario.service(service_name)
+    dataset = DatasetB(service=service_name, fe_name=frontend.node.name)
+    emulators = []
+
+    for index, vp in enumerate(vps):
+        scenario.link_client_to_frontend(vp, frontend, service)
+        emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
+        emulators.append(emulator)
+        stagger = (index / max(1, len(vps))) * interval
+        spawn(scenario.sim,
+              _fixed_fe_loop(emulator, service_name, frontend, keyword,
+                             repeats, interval, stagger))
+
+    scenario.sim.run(until=run_timeout)
+    for emulator in emulators:
+        dataset.sessions.extend(emulator.sessions)
+    return dataset
+
+
+def _fixed_fe_loop(emulator: QueryEmulator, service_name: str,
+                   frontend: FrontEndServer, keyword: Keyword,
+                   repeats: int, interval: float, stagger: float):
+    if stagger > 0:
+        yield Sleep(stagger)
+    for _ in range(repeats):
+        emulator.submit(service_name, frontend, keyword)
+        yield Sleep(interval)
+
+
+def run_single_queries(scenario: Scenario, service_name: str,
+                       frontend: FrontEndServer,
+                       assignments: Iterable[Tuple[VantagePoint, Keyword]],
+                       *, spacing: float = 1.0,
+                       store_payload: bool = False) -> List[QuerySession]:
+    """Issue one query per (vantage point, keyword) pair, spaced in time.
+
+    Used by the FE-caching experiments: "all measurement nodes submit the
+    same search query sequentially to a fixed FE server" (spacing > 0
+    makes them sequential) and "each node submits a different search
+    query".
+    """
+    service = scenario.service(service_name)
+    sessions: List[QuerySession] = []
+    emulators = []
+    for index, (vp, keyword) in enumerate(assignments):
+        scenario.link_client_to_frontend(vp, frontend, service)
+        emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
+        emulators.append(emulator)
+        scenario.sim.schedule(index * spacing, emulator.submit,
+                              service_name, frontend, keyword)
+    scenario.sim.run()
+    for emulator in emulators:
+        sessions.extend(emulator.sessions)
+    return sessions

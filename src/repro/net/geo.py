@@ -1,0 +1,73 @@
+"""Geographic coordinates and distance-derived delays.
+
+The paper's Figure 9 regresses ``Tdynamic`` against the *geographic
+distance in miles* between front-end servers and back-end data centers, so
+geography is a first-class concept: every simulated host carries a
+:class:`GeoPoint`, link propagation delays are derived from great-circle
+distances, and the testbed layer places vantage points by coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim import units
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface (degrees latitude/longitude)."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self):
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError("latitude out of range: %r" % (self.lat,))
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError("longitude out of range: %r" % (self.lon,))
+
+    def distance_miles(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in miles (haversine)."""
+        return haversine_miles(self.lat, self.lon, other.lat, other.lon)
+
+    def one_way_delay(self, other: "GeoPoint",
+                      route_inflation: float = units.DEFAULT_ROUTE_INFLATION
+                      ) -> float:
+        """Fiber propagation delay to ``other`` in seconds."""
+        return units.propagation_delay(self.distance_miles(other),
+                                       route_inflation)
+
+    def __str__(self) -> str:
+        return "(%.3f, %.3f)" % (self.lat, self.lon)
+
+
+def haversine_miles(lat1: float, lon1: float,
+                    lat2: float, lon2: float) -> float:
+    """Great-circle distance between two lat/lon pairs, in miles."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (math.sin(dphi / 2.0) ** 2
+         + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2)
+    return 2.0 * units.EARTH_RADIUS_MILES * math.asin(min(1.0, math.sqrt(a)))
+
+
+def nearest(point: GeoPoint, candidates):
+    """Return ``(candidate, distance_miles)`` minimising distance to ``point``.
+
+    ``candidates`` is an iterable of objects exposing a ``location``
+    attribute of type :class:`GeoPoint`.  Ties break toward the candidate
+    encountered first, so the function is deterministic for ordered input.
+    """
+    best = None
+    best_distance = math.inf
+    for candidate in candidates:
+        distance = point.distance_miles(candidate.location)
+        if distance < best_distance:
+            best = candidate
+            best_distance = distance
+    if best is None:
+        raise ValueError("no candidates supplied")
+    return best, best_distance

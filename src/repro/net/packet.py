@@ -1,0 +1,67 @@
+"""The network packet.
+
+A :class:`Packet` is what travels on links.  Its ``payload`` is an opaque
+transport PDU (in practice a :class:`repro.tcp.segment.Segment`), and
+``size_bytes`` is the full on-wire size including all header overhead, so
+link serialization delays are computed from it directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List
+
+#: Bytes of IP + link-layer framing charged to every packet on the wire.
+NETWORK_HEADER_BYTES = 40
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A packet in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Host names of the original sender and the final destination.
+    protocol:
+        Demultiplexing tag, e.g. ``"tcp"``.  Nodes dispatch received
+        packets to the protocol handler registered under this tag.
+    size_bytes:
+        Total on-wire size (headers + payload).
+    payload:
+        The transport PDU carried by the packet.
+    uid:
+        Globally unique packet id, assigned at creation.
+    hops:
+        Host names traversed so far, appended by each forwarding node.
+        Useful in tests and for TTL enforcement.
+    """
+
+    src: str
+    dst: str
+    protocol: str
+    size_bytes: int
+    payload: Any = None
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    hops: List[str] = field(default_factory=list)
+
+    MAX_HOPS = 64
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError("packet size must be >= 0, got %r" % self.size_bytes)
+
+    def record_hop(self, host: str) -> None:
+        """Append a forwarding hop; raises if the hop budget is exceeded."""
+        self.hops.append(host)
+        if len(self.hops) > self.MAX_HOPS:
+            raise RuntimeError(
+                "packet %d exceeded %d hops (routing loop?): %r"
+                % (self.uid, self.MAX_HOPS, self.hops))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Packet #%d %s %s->%s %dB>" % (
+            self.uid, self.protocol, self.src, self.dst, self.size_bytes)

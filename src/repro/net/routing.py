@@ -1,0 +1,80 @@
+"""Static shortest-path routing.
+
+Routes are computed once over the topology graph with Dijkstra's
+algorithm, using link propagation delay as the edge weight (bandwidth is
+deliberately ignored: delay-based routing matches how the paper reasons
+about paths, and the experiment topologies are small).
+
+The output is a next-hop table per node: ``routes[src][dst] -> neighbor``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Mapping
+
+Graph = Mapping[Hashable, Mapping[Hashable, float]]
+
+
+class RoutingError(Exception):
+    """Raised when a route is requested between disconnected nodes."""
+
+
+def dijkstra(graph: Graph, source: Hashable):
+    """Single-source shortest paths.
+
+    Parameters
+    ----------
+    graph:
+        ``{node: {neighbor: weight}}`` adjacency mapping.  Weights must be
+        non-negative.
+    source:
+        Starting node.
+
+    Returns
+    -------
+    (distances, first_hops):
+        ``distances[node]`` is the total weight of the best path;
+        ``first_hops[node]`` is the first neighbor on that path (absent
+        for the source itself and for unreachable nodes).
+    """
+    if source not in graph:
+        raise KeyError("unknown source node %r" % (source,))
+    distances: Dict[Hashable, float] = {source: 0.0}
+    first_hops: Dict[Hashable, Hashable] = {}
+    visited = set()
+    # Heap entries: (distance, tie_break, node, first_hop)
+    counter = 0
+    heap = [(0.0, counter, source, None)]
+    while heap:
+        dist, _, node, hop = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if hop is not None:
+            first_hops[node] = hop
+        for neighbor, weight in graph.get(node, {}).items():
+            if weight < 0:
+                raise ValueError("negative edge weight %r on %r->%r"
+                                 % (weight, node, neighbor))
+            candidate = dist + weight
+            if neighbor not in visited and candidate < distances.get(
+                    neighbor, float("inf")):
+                distances[neighbor] = candidate
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor,
+                                      hop if hop is not None else neighbor))
+    return distances, first_hops
+
+
+def build_routing_tables(graph: Graph):
+    """Compute next-hop tables for every node in ``graph``.
+
+    Returns ``{src: {dst: next_hop}}``.  Unreachable destinations are
+    simply absent from the inner mapping.
+    """
+    tables = {}
+    for source in graph:
+        _, first_hops = dijkstra(graph, source)
+        tables[source] = first_hops
+    return tables

@@ -1,0 +1,208 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Events are
+plain callbacks scheduled at absolute times; ties are broken by insertion
+order so the simulation is fully deterministic for a fixed seed.
+
+The engine deliberately knows nothing about networks or TCP: every other
+layer (links, TCP endpoints, HTTP servers, the measurement driver) is built
+on :meth:`Simulator.schedule` / :meth:`Simulator.call_at` alone.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(1.5, fired.append, "a")
+>>> _ = sim.schedule(0.5, fired.append, "b")
+>>> sim.run()
+>>> fired
+['b', 'a']
+>>> sim.now
+1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or on a dead engine."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Handles are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.call_at`.  Cancellation is O(1): the entry is flagged
+    and skipped when it reaches the head of the queue (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return "<EventHandle t=%.6f #%d %s %s>" % (
+            self.time, self.seq, getattr(self.callback, "__name__", "?"), state)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value in seconds (default 0.0).
+
+    Notes
+    -----
+    * Events scheduled for identical times fire in scheduling order.
+    * Callbacks may schedule further events, including zero-delay ones.
+    * The clock never moves backwards; scheduling in the past raises
+      :class:`SchedulingError`.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queue entries not yet executed (may include cancelled)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError("cannot schedule %r s in the past" % delay)
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_at(self, time: float, callback: Callable[..., Any],
+                *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                "cannot schedule at t=%r; clock is already at t=%r"
+                % (time, self._now))
+        if not callable(callback):
+            raise TypeError("callback must be callable, got %r" % (callback,))
+        handle = EventHandle(float(time), next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        was empty (cancelled entries are drained silently).
+        """
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self._processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` additional events have been executed.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fired earlier, mirroring how a wall clock
+        would behave during an idle tail.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    return
+                heapq.heappop(self._queue)
+                self._now = head.time
+                self._processed += 1
+                head.callback(*head.args)
+                executed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, idle_gap: float, hard_limit: float) -> None:
+        """Run until no event fires within ``idle_gap`` of the previous one.
+
+        Useful for draining a measurement session whose natural end is "the
+        connection went quiet".  ``hard_limit`` caps total simulated time.
+        """
+        if idle_gap <= 0:
+            raise ValueError("idle_gap must be positive")
+        last = self._now
+        while self._queue and self._now < hard_limit:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time - last > idle_gap:
+                break
+            if not self.step():
+                break
+            last = self._now

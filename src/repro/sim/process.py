@@ -1,0 +1,155 @@
+"""Generator-based cooperative processes on top of the event engine.
+
+Callback code is the right shape for protocol machinery (TCP, links), but
+experiment *drivers* — "submit a query, wait for the response, sleep 10
+seconds, repeat 500 times" — read far better as sequential coroutines.
+This module provides a minimal process runner in the style of SimPy:
+
+>>> from repro.sim.engine import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def driver():
+...     log.append(("start", sim.now))
+...     yield Sleep(2.0)
+...     log.append(("tick", sim.now))
+...     yield Sleep(3.0)
+...     log.append(("done", sim.now))
+>>> _ = spawn(sim, driver())
+>>> sim.run()
+>>> log
+[('start', 0.0), ('tick', 2.0), ('done', 5.0)]
+
+A process may yield:
+
+* :class:`Sleep` — resume after a delay;
+* :class:`WaitEvent` — resume when a :class:`Signal` fires (with the value
+  the signal was fired with);
+* another generator — run it as a sub-process to completion, receiving its
+  return value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Yielded by a process to pause for ``delay`` seconds."""
+
+    delay: float
+
+
+class Signal:
+    """A one-to-many wakeup primitive.
+
+    Processes wait on the signal with :class:`WaitEvent`; any code may call
+    :meth:`fire` with a value, waking every current waiter.  Each ``fire``
+    wakes only the waiters registered at that moment.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._waiters: List[Any] = []
+        self.fire_count = 0
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all waiting processes, passing them ``value``.
+
+        Returns the number of processes woken.
+        """
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume(value)
+        return len(waiters)
+
+    def _register(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Yielded by a process to block until ``signal`` fires."""
+
+    signal: Signal
+    timeout: Optional[float] = None
+
+
+class ProcessFailure(Exception):
+    """Raised (re-raised) when a process body raises an exception."""
+
+
+class Process:
+    """A running coroutine attached to a simulator.
+
+    Not instantiated directly — use :func:`spawn`.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator):
+        self.sim = sim
+        self.finished = False
+        self.result: Any = None
+        self.done_signal = Signal("process-done")
+        self._stack: List[Generator] = [generator]
+        self._timeout_handle = None
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any = None) -> None:
+        """Advance the coroutine stack with ``value``."""
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
+        while self._stack:
+            top = self._stack[-1]
+            try:
+                yielded = top.send(value)
+            except StopIteration as stop:
+                self._stack.pop()
+                value = stop.value
+                continue
+            except Exception as exc:
+                self.finished = True
+                raise ProcessFailure(
+                    "process body raised %r" % exc) from exc
+            self._dispatch(yielded)
+            return
+        self.finished = True
+        self.result = value
+        self.done_signal.fire(value)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Sleep):
+            if yielded.delay < 0:
+                raise ValueError("Sleep delay must be >= 0")
+            self.sim.schedule(yielded.delay, self._resume, None)
+        elif isinstance(yielded, WaitEvent):
+            yielded.signal._register(self)
+            if yielded.timeout is not None:
+                self._timeout_handle = self.sim.schedule(
+                    yielded.timeout, self._timeout_fire)
+        elif isinstance(yielded, Generator):
+            self._stack.append(yielded)
+            self._resume(None)
+        else:
+            raise TypeError(
+                "process yielded unsupported value %r" % (yielded,))
+
+    def _timeout_fire(self) -> None:
+        """Wake the process with ``None`` after a WaitEvent timeout."""
+        self._timeout_handle = None
+        self._resume(None)
+
+
+def spawn(sim: Simulator, generator: Generator) -> Process:
+    """Start ``generator`` as a process on ``sim`` at the current time.
+
+    The first step runs via a zero-delay event so that spawning inside a
+    running event keeps deterministic ordering.
+    """
+    process = Process(sim, generator)
+    sim.schedule(0.0, process._resume, None)
+    return process

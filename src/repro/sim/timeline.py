@@ -1,0 +1,108 @@
+"""Timestamped record collection.
+
+:class:`Timeline` is the simulator's generic "strip chart": an append-only
+sequence of ``(time, kind, payload)`` records.  The packet-capture layer,
+TCP endpoints and experiment drivers all log into timelines; the analysis
+package consumes them.
+
+Records are kept sorted by construction (the simulator clock is
+monotonic), which lets consumers slice by time with binary search.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single timeline record.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    kind:
+        A short string tag, e.g. ``"pkt_rx"`` or ``"query_sent"``.
+    payload:
+        Arbitrary structured data attached to the record.
+    """
+
+    time: float
+    kind: str
+    payload: Any = None
+
+
+class Timeline:
+    """An append-only, time-ordered sequence of :class:`Record` objects."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._records: List[Record] = []
+        self._times: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def add(self, time: float, kind: str, payload: Any = None) -> Record:
+        """Append a record.  ``time`` must be >= the last record's time."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                "timeline %r is append-only: %r < last time %r"
+                % (self.name, time, self._times[-1]))
+        record = Record(float(time), kind, payload)
+        self._records.append(record)
+        self._times.append(record.time)
+        return record
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def records(self, kind: Optional[str] = None,
+                predicate: Optional[Callable[[Record], bool]] = None
+                ) -> List[Record]:
+        """Return records filtered by ``kind`` and/or an arbitrary predicate."""
+        out = self._records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if predicate is not None:
+            out = [r for r in out if predicate(r)]
+        return list(out) if out is self._records else out
+
+    def first(self, kind: str) -> Optional[Record]:
+        """Return the earliest record of ``kind``, or None."""
+        for record in self._records:
+            if record.kind == kind:
+                return record
+        return None
+
+    def last(self, kind: str) -> Optional[Record]:
+        """Return the latest record of ``kind``, or None."""
+        for record in reversed(self._records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def between(self, start: float, end: float) -> List[Record]:
+        """Return records with ``start <= time < end`` (binary search)."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return self._records[lo:hi]
+
+    def span(self) -> float:
+        """Time covered by the timeline (0.0 when it has < 2 records)."""
+        if len(self._records) < 2:
+            return 0.0
+        return self._times[-1] - self._times[0]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._times.clear()

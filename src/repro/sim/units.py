@@ -1,0 +1,77 @@
+"""Unit helpers and physical constants used throughout the simulator.
+
+All simulator time is kept in **seconds** as floats.  The paper reports
+every quantity in milliseconds, so conversion helpers are provided and used
+at the analysis/reporting boundary only; the simulation core never mixes
+units.
+
+Distances are kept in **miles** because the paper's Figure 9 regresses
+``Tdynamic`` against FE-BE distance in miles (slopes of 0.08-0.099 ms/mile).
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum, miles per second.
+SPEED_OF_LIGHT_MILES_PER_S = 186_282.0
+
+#: Effective propagation speed in optical fiber (~2/3 c), miles per second.
+FIBER_SPEED_MILES_PER_S = SPEED_OF_LIGHT_MILES_PER_S * 2.0 / 3.0
+
+#: Multiplier accounting for the fact that fiber routes are not great
+#: circles.  1.0 would be a perfectly straight fiber run; real paths on the
+#: Internet commonly inflate geographic distance by 1.3-2x.
+DEFAULT_ROUTE_INFLATION = 1.6
+
+#: Mean Earth radius in miles, used by the haversine distance computation.
+EARTH_RADIUS_MILES = 3958.8
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to simulator seconds."""
+    return value / 1000.0
+
+
+def us(value: float) -> float:
+    """Convert microseconds to simulator seconds."""
+    return value / 1_000_000.0
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert simulator seconds to milliseconds for reporting."""
+    return value * 1000.0
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bytes per second."""
+    return value * 1000.0 / 8.0
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return value * 1_000_000.0 / 8.0
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bytes per second."""
+    return value * 1_000_000_000.0 / 8.0
+
+
+def propagation_delay(distance_miles: float,
+                      route_inflation: float = DEFAULT_ROUTE_INFLATION) -> float:
+    """One-way propagation delay in seconds for a fiber path.
+
+    ``distance_miles`` is the great-circle distance; ``route_inflation``
+    stretches it to an effective fiber route length.
+    """
+    if distance_miles < 0:
+        raise ValueError("distance must be non-negative, got %r" % distance_miles)
+    return distance_miles * route_inflation / FIBER_SPEED_MILES_PER_S
+
+
+def transmission_delay(size_bytes: int, bandwidth_bytes_per_s: float) -> float:
+    """Serialization delay in seconds for ``size_bytes`` on a link."""
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError("bandwidth must be positive, got %r" % bandwidth_bytes_per_s)
+    if size_bytes < 0:
+        raise ValueError("size must be non-negative, got %r" % size_bytes)
+    return size_bytes / bandwidth_bytes_per_s

@@ -1,0 +1,669 @@
+"""The TCP connection state machine.
+
+This module implements an event-driven TCP endpoint faithful enough to
+reproduce the transport phenomena the paper depends on:
+
+* three-way handshake (the paper's first packet cluster in Fig. 4);
+* slow-start window ramp-up (whose elimination on the FE-BE leg is the
+  whole point of split TCP);
+* cumulative ACKs, duplicate-ACK fast retransmit with NewReno-style
+  recovery, and RFC 6298 retransmission timeouts with Karn's algorithm;
+* persistent connections whose congestion window survives across
+  request/response exchanges (no idle-window reset), which is how the
+  FE's long-lived back-end connection stays warm;
+* immediate or delayed ACKs, and ACK piggybacking on response data.
+
+It does **not** model window scaling negotiation (the advertised window
+is a constant from config), selective acknowledgements, or simultaneous
+open — none of which affect the measured quantities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.net.address import Endpoint, FlowKey
+from repro.net.packet import Packet
+from repro.tcp.buffers import Reassembler, SendBuffer
+from repro.tcp.config import TcpConfig
+from repro.tcp.congestion import (
+    CongestionController,
+    CubicController,
+    FixedWindowController,
+    RenoController,
+)
+from repro.tcp.segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tcp.host import TcpHost
+
+
+class State(enum.Enum):
+    """TCP connection states (simultaneous open/close not modelled)."""
+
+    CLOSED = "CLOSED"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+
+class ConnectionError_(Exception):
+    """Raised on fatal connection failures (handshake/retry exhaustion)."""
+
+
+@dataclass
+class ConnectionStats:
+    """Diagnostics counters for one connection."""
+
+    segments_sent: int = 0
+    segments_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    retransmissions: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    dup_acks_received: int = 0
+
+
+class TcpApp:
+    """Application callback interface for a TCP connection.
+
+    Subclass (or duck-type) and pass to ``TcpHost.connect`` /
+    ``TcpHost.listen``.  All callbacks receive the connection first.
+    """
+
+    def on_established(self, conn: "Connection") -> None:
+        """Handshake complete; the connection can carry data."""
+
+    def on_data(self, conn: "Connection", data: bytes) -> None:
+        """In-order payload bytes arrived."""
+
+    def on_close(self, conn: "Connection") -> None:
+        """The peer finished sending (FIN received and delivered)."""
+
+    def on_error(self, conn: "Connection", message: str) -> None:
+        """The connection was aborted (retry exhaustion etc.)."""
+
+
+class Connection:
+    """One endpoint of a TCP connection.
+
+    Connections are created through :class:`repro.tcp.host.TcpHost`
+    (active open via ``connect`` or passive open via ``listen``), never
+    directly.
+    """
+
+    def __init__(self, host: "TcpHost", flow: FlowKey, app: TcpApp,
+                 config: TcpConfig,
+                 controller: Optional[CongestionController] = None,
+                 passive: bool = False):
+        self.host = host
+        self.sim = host.sim
+        self.flow = flow
+        self.app = app
+        self.config = config
+        self.state = State.CLOSED
+        self.passive = passive
+        self.stats = ConnectionStats()
+
+        if controller is not None:
+            self.cc: CongestionController = controller
+        elif config.fixed_window_bytes is not None:
+            self.cc = FixedWindowController(config.fixed_window_bytes)
+        elif config.congestion == "cubic":
+            self.cc = CubicController(config.mss,
+                                      config.initial_cwnd_bytes,
+                                      config.initial_ssthresh_bytes,
+                                      clock=lambda: self.sim.now)
+        else:
+            self.cc = RenoController(config.mss, config.initial_cwnd_bytes,
+                                     config.initial_ssthresh_bytes)
+
+        # Sequence bookkeeping.  ISNs are deterministic per flow for
+        # reproducibility; buffers work in stream offsets.
+        self.isn = host.next_isn(flow)
+        self.peer_isn: Optional[int] = None
+        self.send_buffer = SendBuffer()
+        self.reassembler = Reassembler(config.receive_window_bytes)
+        self.peer_rwnd = config.receive_window_bytes
+
+        # Handshake / FIN bookkeeping.
+        self._syn_acked = False
+        self._fin_sent = False
+        self._fin_acked = False
+        self._peer_fin_offset: Optional[int] = None
+        self._peer_fin_delivered = False
+
+        # Loss recovery.
+        self._dupacks = 0
+        self._recover_offset = 0
+        self._rto = config.initial_rto
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto_timer = None
+        self._retries = 0
+        self._rtt_probe: Optional[tuple] = None  # (end_offset, send_time)
+
+        # ACK generation.
+        self._ack_pending = False
+        self._delack_timer = None
+        self._segments_since_ack = 0
+
+        # RFC 2861 idle detection.
+        self._last_send_time = self.sim.now
+
+        self.open_time = self.sim.now
+        self.established_time: Optional[float] = None
+        self.close_callbacks: list = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def established(self) -> bool:
+        return self.state in (State.ESTABLISHED, State.FIN_WAIT_1,
+                              State.FIN_WAIT_2, State.CLOSE_WAIT)
+
+    @property
+    def local(self) -> Endpoint:
+        return self.flow.local
+
+    @property
+    def remote(self) -> Endpoint:
+        return self.flow.remote
+
+    @property
+    def srtt(self) -> Optional[float]:
+        """Smoothed RTT estimate in seconds (None before first sample)."""
+        return self._srtt
+
+    def send(self, data: bytes) -> None:
+        """Queue application ``data`` for transmission."""
+        if self._fin_sent:
+            raise ConnectionError_("send after close on %s" % self.flow)
+        if self.state in (State.CLOSE_WAIT,) or self.established or \
+                self.state in (State.SYN_SENT, State.SYN_RCVD):
+            self.send_buffer.enqueue(data)
+            if self.established:
+                self._try_send()
+        else:
+            raise ConnectionError_("send on %s connection" % self.state.value)
+
+    def close(self) -> None:
+        """Finish sending: a FIN is queued after all buffered data."""
+        if self._fin_sent or self.send_buffer.fin_enqueued:
+            return
+        self.send_buffer.mark_fin()
+        if self.established:
+            self._try_send()
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Tear the connection down immediately (no FIN exchange)."""
+        self._cancel_timers()
+        if self.state != State.CLOSED:
+            self.state = State.CLOSED
+            self.host.forget(self)
+            self.app.on_error(self, reason)
+
+    # ------------------------------------------------------------------
+    # opening
+    # ------------------------------------------------------------------
+    def open_active(self) -> None:
+        """Send the initial SYN (client side)."""
+        if self.state != State.CLOSED:
+            raise ConnectionError_("open_active in state %s" % self.state)
+        self.state = State.SYN_SENT
+        self._transmit(Segment(sport=self.local.port, dport=self.remote.port,
+                               seq=self.isn, syn=True))
+        self._arm_rto()
+
+    def _open_passive(self, syn: Segment) -> None:
+        """Respond to a received SYN (server side)."""
+        self.peer_isn = syn.seq
+        self.reassembler.next_expected = 0
+        self.state = State.SYN_RCVD
+        self._transmit(Segment(sport=self.local.port, dport=self.remote.port,
+                               seq=self.isn, ack=syn.seq + 1,
+                               syn=True, ack_flag=True))
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # offset helpers: buffers track stream offsets; wire uses absolute seq
+    # ------------------------------------------------------------------
+    def _send_seq(self, offset: int) -> int:
+        """Stream offset -> absolute sequence number (our direction)."""
+        return self.isn + 1 + offset
+
+    def _recv_offset(self, seq: int) -> int:
+        """Absolute sequence number -> stream offset (peer direction)."""
+        assert self.peer_isn is not None
+        return seq - (self.peer_isn + 1)
+
+    def _rcv_nxt(self) -> int:
+        """Next absolute sequence number expected from the peer."""
+        assert self.peer_isn is not None
+        offset = self.reassembler.next_expected
+        fin_extra = 0
+        if (self._peer_fin_offset is not None
+                and offset >= self._peer_fin_offset):
+            fin_extra = 1
+        return self.peer_isn + 1 + offset + fin_extra
+
+    # ------------------------------------------------------------------
+    # segment reception
+    # ------------------------------------------------------------------
+    def handle_segment(self, segment: Segment) -> None:
+        """Entry point for every segment of this flow delivered to us."""
+        self.stats.segments_received += 1
+        self.stats.bytes_received += len(segment.data)
+
+        if self.state == State.SYN_SENT:
+            self._handle_in_syn_sent(segment)
+            return
+        if self.state == State.CLOSED:
+            return
+        if segment.syn:
+            # Duplicate SYN (our SYN-ACK was lost): re-ack it.
+            if self.state == State.SYN_RCVD and not segment.ack_flag:
+                self._transmit(Segment(
+                    sport=self.local.port, dport=self.remote.port,
+                    seq=self.isn, ack=segment.seq + 1,
+                    syn=True, ack_flag=True, retransmit=True))
+            return
+
+        if segment.ack_flag:
+            self._process_ack(segment)
+        if segment.data or segment.fin:
+            self._process_payload(segment)
+        self._flush_ack_or_data()
+
+    def _handle_in_syn_sent(self, segment: Segment) -> None:
+        if not (segment.syn and segment.ack_flag):
+            return
+        if segment.ack != self.isn + 1:
+            return
+        self.peer_isn = segment.seq
+        self._syn_acked = True
+        self._retries = 0
+        self._sample_rtt_for_handshake()
+        self._enter_established()
+        # The handshake ACK; piggybacked on data when the app already
+        # queued some (typical HTTP client behaviour: ACK + GET go
+        # back-to-back, which is exactly the paper's t1 cluster).
+        self._ack_pending = True
+        self._flush_ack_or_data()
+
+    def _enter_established(self) -> None:
+        self.state = State.ESTABLISHED
+        self.established_time = self.sim.now
+        self._cancel_rto()
+        self.app.on_established(self)
+        self._try_send()
+
+    def _process_ack(self, segment: Segment) -> None:
+        if self.state == State.SYN_RCVD:
+            if segment.ack == self.isn + 1:
+                self._syn_acked = True
+                self._retries = 0
+                self._enter_established()
+            # fall through: the same segment may carry data (rare here).
+
+        ack_offset = segment.ack - (self.isn + 1)
+        fin_offset = (self.send_buffer.stream_length
+                      if self.send_buffer.fin_enqueued else None)
+
+        if fin_offset is not None and ack_offset == fin_offset + 1:
+            ack_offset = fin_offset  # the +1 acknowledges our FIN
+            fin_now_acked = self._fin_sent
+        else:
+            fin_now_acked = False
+
+        if ack_offset > self.send_buffer.nxt:
+            return  # acks data we never sent; ignore
+
+        newly = 0
+        if ack_offset > self.send_buffer.una:
+            newly = self.send_buffer.ack_to(ack_offset)
+            self._retries = 0
+            self._on_bytes_acked(ack_offset, newly)
+        elif (ack_offset == self.send_buffer.una
+              and self.send_buffer.unacked_bytes > 0
+              and not segment.data and not segment.fin):
+            self._on_dup_ack()
+
+        if fin_now_acked and not self._fin_acked:
+            self._fin_acked = True
+            self._retries = 0
+            self._advance_close_state_on_fin_ack()
+
+        if newly or fin_now_acked:
+            if self._outstanding():
+                self._arm_rto(restart=True)
+            else:
+                self._cancel_rto()
+        self._try_send()
+
+    def _on_bytes_acked(self, ack_offset: int, newly: int) -> None:
+        # RTT sampling (Karn: the probe is only set on fresh sends).
+        if self._rtt_probe is not None and ack_offset >= self._rtt_probe[0]:
+            self._update_rtt(self.sim.now - self._rtt_probe[1])
+            self._rtt_probe = None
+        if self.cc.in_recovery:
+            if ack_offset >= self._recover_offset:
+                self.cc.on_recovery_exit()
+                self._dupacks = 0
+            else:
+                # NewReno partial ACK: retransmit the next hole at once.
+                self.cc.on_ack(newly, self._flight_size())
+                self._retransmit_una()
+                return
+        else:
+            self._dupacks = 0
+            self.cc.on_ack(newly, self._flight_size())
+
+    def _on_dup_ack(self) -> None:
+        self.stats.dup_acks_received += 1
+        self._dupacks += 1
+        if self.cc.in_recovery:
+            self.cc.on_dup_ack()
+            self._try_send()
+        elif self._dupacks == self.config.dupack_threshold:
+            self.stats.fast_retransmits += 1
+            self._recover_offset = self.send_buffer.nxt
+            self.cc.on_fast_retransmit(self._flight_size())
+            self._retransmit_una()
+
+    def _process_payload(self, segment: Segment) -> None:
+        if self.peer_isn is None:
+            return
+        offset = self._recv_offset(segment.seq)
+        delivered = self.reassembler.offer(offset, segment.data)
+
+        if segment.fin:
+            fin_offset = offset + len(segment.data)
+            if (self._peer_fin_offset is None
+                    or fin_offset < self._peer_fin_offset):
+                self._peer_fin_offset = fin_offset
+
+        self._ack_pending = True
+        self._segments_since_ack += 1
+
+        if delivered:
+            self.app.on_data(self, delivered)
+        self._maybe_deliver_fin()
+
+    def _maybe_deliver_fin(self) -> None:
+        if (self._peer_fin_offset is not None
+                and not self._peer_fin_delivered
+                and self.reassembler.next_expected >= self._peer_fin_offset):
+            self._peer_fin_delivered = True
+            self._advance_close_state_on_peer_fin()
+            self.app.on_close(self)
+
+    # ------------------------------------------------------------------
+    # close-state transitions
+    # ------------------------------------------------------------------
+    def _advance_close_state_on_peer_fin(self) -> None:
+        if self.state == State.ESTABLISHED:
+            self.state = State.CLOSE_WAIT
+        elif self.state == State.FIN_WAIT_1:
+            # Proper TCP would pass through CLOSING when our FIN is not
+            # yet acked; collapsing to TIME_WAIT does not change timing.
+            self.state = State.TIME_WAIT
+            self._schedule_forget()
+        elif self.state == State.FIN_WAIT_2:
+            self.state = State.TIME_WAIT
+            self._schedule_forget()
+
+    def _advance_close_state_on_fin_ack(self) -> None:
+        if self.state == State.FIN_WAIT_1:
+            self.state = (State.TIME_WAIT if self._peer_fin_delivered
+                          else State.FIN_WAIT_2)
+            if self.state == State.TIME_WAIT:
+                self._schedule_forget()
+        elif self.state == State.LAST_ACK:
+            self.state = State.CLOSED
+            self._cancel_timers()
+            self.host.forget(self)
+
+    def _schedule_forget(self) -> None:
+        """Approximate TIME_WAIT: linger 2 RTO then release the flow."""
+        self._cancel_timers()
+        self.sim.schedule(2 * self._rto, self._finish_time_wait)
+
+    def _finish_time_wait(self) -> None:
+        if self.state == State.TIME_WAIT:
+            self.state = State.CLOSED
+            self.host.forget(self)
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def _flight_size(self) -> int:
+        return self.send_buffer.unacked_bytes
+
+    def _outstanding(self) -> bool:
+        if self.send_buffer.unacked_bytes > 0:
+            return True
+        if self._fin_sent and not self._fin_acked:
+            return True
+        if self.state in (State.SYN_SENT, State.SYN_RCVD):
+            return True
+        return False
+
+    def _window_available(self) -> int:
+        window = min(self.cc.cwnd, self.peer_rwnd)
+        return max(0, window - self._flight_size())
+
+    def _try_send(self) -> None:
+        """Transmit as much new data as the windows allow."""
+        if not self.established:
+            return
+        self._maybe_reset_after_idle()
+        sent_any = False
+        while True:
+            available = self._window_available()
+            unsent = self.send_buffer.unsent_bytes
+            if unsent <= 0 or available <= 0:
+                break
+            size = min(self.config.mss, unsent, available)
+            if (self.config.nagle and size < self.config.mss
+                    and self._flight_size() > 0):
+                break
+            offset = self.send_buffer.nxt
+            data = self.send_buffer.peek(offset, size)
+            self.send_buffer.advance_nxt(len(data))
+            fin = (self.send_buffer.fin_enqueued
+                   and self.send_buffer.unsent_bytes == 0
+                   and not self._fin_sent)
+            if fin:
+                self._fin_sent = True
+                self._note_fin_state()
+            segment = Segment(sport=self.local.port, dport=self.remote.port,
+                              seq=self._send_seq(offset),
+                              ack=self._rcv_nxt() if self.peer_isn is not None else 0,
+                              ack_flag=self.peer_isn is not None,
+                              data=data, fin=fin)
+            if self._rtt_probe is None:
+                self._rtt_probe = (offset + len(data), self.sim.now)
+            self._transmit(segment)
+            self._ack_pending = False
+            self._segments_since_ack = 0
+            sent_any = True
+        # A bare FIN when everything was already sent.
+        if (self.send_buffer.fin_enqueued and not self._fin_sent
+                and self.send_buffer.unsent_bytes == 0
+                and self._window_available() >= 0):
+            self._fin_sent = True
+            self._note_fin_state()
+            self._transmit(Segment(
+                sport=self.local.port, dport=self.remote.port,
+                seq=self._send_seq(self.send_buffer.stream_length),
+                ack=self._rcv_nxt() if self.peer_isn is not None else 0,
+                ack_flag=self.peer_isn is not None, fin=True))
+            self._ack_pending = False
+            sent_any = True
+        if sent_any:
+            self._arm_rto()
+
+    def _maybe_reset_after_idle(self) -> None:
+        """RFC 2861: collapse cwnd after an idle period (if configured)."""
+        if not self.config.slow_start_after_idle:
+            return
+        if not isinstance(self.cc, (RenoController, CubicController)):
+            return
+        if self._flight_size() > 0:
+            return  # not idle: data is in flight
+        idle = self.sim.now - self._last_send_time
+        if idle > max(self._rto, self.config.min_rto):
+            self.cc.cwnd = min(self.cc.cwnd, self.config.initial_cwnd_bytes)
+
+    def _note_fin_state(self) -> None:
+        if self.state == State.ESTABLISHED:
+            self.state = State.FIN_WAIT_1
+        elif self.state == State.CLOSE_WAIT:
+            self.state = State.LAST_ACK
+
+    def _retransmit_una(self) -> None:
+        """Retransmit the first unacknowledged segment."""
+        self.stats.retransmissions += 1
+        offset = self.send_buffer.una
+        if offset < self.send_buffer.stream_length:
+            size = min(self.config.mss,
+                       self.send_buffer.nxt - offset) or self.config.mss
+            data = self.send_buffer.peek(offset, size)
+            fin = (self._fin_sent
+                   and offset + len(data) >= self.send_buffer.stream_length)
+            segment = Segment(sport=self.local.port, dport=self.remote.port,
+                              seq=self._send_seq(offset),
+                              ack=self._rcv_nxt() if self.peer_isn is not None else 0,
+                              ack_flag=self.peer_isn is not None,
+                              data=data, fin=fin, retransmit=True)
+        elif self._fin_sent and not self._fin_acked:
+            segment = Segment(sport=self.local.port, dport=self.remote.port,
+                              seq=self._send_seq(self.send_buffer.stream_length),
+                              ack=self._rcv_nxt() if self.peer_isn is not None else 0,
+                              ack_flag=self.peer_isn is not None,
+                              fin=True, retransmit=True)
+        else:
+            return
+        self._rtt_probe = None  # Karn's algorithm
+        self._transmit(segment)
+        self._arm_rto(restart=True)
+
+    def _flush_ack_or_data(self) -> None:
+        """Send queued data (which piggybacks the ACK) or a pure ACK."""
+        self._try_send()
+        if not self._ack_pending or self.peer_isn is None:
+            return
+        if self.config.delayed_ack and self._segments_since_ack < 2 \
+                and self._peer_fin_offset is None:
+            if self._delack_timer is None:
+                self._delack_timer = self.sim.schedule(
+                    self.config.delayed_ack_timeout, self._delack_fire)
+            return
+        self._send_pure_ack()
+
+    def _delack_fire(self) -> None:
+        self._delack_timer = None
+        if self._ack_pending:
+            self._send_pure_ack()
+
+    def _send_pure_ack(self) -> None:
+        self._ack_pending = False
+        self._segments_since_ack = 0
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+        self._transmit(Segment(sport=self.local.port, dport=self.remote.port,
+                               seq=self._send_seq(self.send_buffer.nxt),
+                               ack=self._rcv_nxt(), ack_flag=True))
+
+    def _transmit(self, segment: Segment) -> None:
+        self.stats.segments_sent += 1
+        self.stats.bytes_sent += len(segment.data)
+        self._last_send_time = self.sim.now
+        if segment.retransmit:
+            pass  # counted by callers that know the cause
+        packet = Packet(src=self.local.host, dst=self.remote.host,
+                        protocol="tcp", size_bytes=segment.wire_size,
+                        payload=segment)
+        self.host.node.send(packet)
+
+    # ------------------------------------------------------------------
+    # timers & RTT estimation (RFC 6298)
+    # ------------------------------------------------------------------
+    def _update_rtt(self, sample: float) -> None:
+        if sample < 0:
+            return
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            alpha, beta = 1.0 / 8.0, 1.0 / 4.0
+            self._rttvar = ((1 - beta) * self._rttvar
+                            + beta * abs(self._srtt - sample))
+            self._srtt = (1 - alpha) * self._srtt + alpha * sample
+        self._rto = self._srtt + max(4 * self._rttvar, 0.001)
+        self._rto = min(max(self._rto, self.config.min_rto),
+                        self.config.max_rto)
+
+    def _sample_rtt_for_handshake(self) -> None:
+        self._update_rtt(self.sim.now - self.open_time)
+
+    def _arm_rto(self, restart: bool = False) -> None:
+        if restart:
+            self._cancel_rto()
+        if self._rto_timer is None:
+            self._rto_timer = self.sim.schedule(self._rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _cancel_timers(self) -> None:
+        self._cancel_rto()
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if not self._outstanding():
+            return
+        self.stats.timeouts += 1
+        self._retries += 1
+        limit = (self.config.max_syn_retries
+                 if self.state in (State.SYN_SENT, State.SYN_RCVD)
+                 else self.config.max_data_retries)
+        if self._retries > limit:
+            self.abort("retry limit exceeded in %s" % self.state.value)
+            return
+        self._rto = min(self._rto * 2, self.config.max_rto)
+        if self.state == State.SYN_SENT:
+            self._transmit(Segment(sport=self.local.port,
+                                   dport=self.remote.port,
+                                   seq=self.isn, syn=True, retransmit=True))
+        elif self.state == State.SYN_RCVD:
+            self._transmit(Segment(sport=self.local.port,
+                                   dport=self.remote.port,
+                                   seq=self.isn, ack=self.peer_isn + 1,
+                                   syn=True, ack_flag=True, retransmit=True))
+        else:
+            self.cc.on_timeout(self._flight_size())
+            self._dupacks = 0
+            self._retransmit_una()
+            return  # _retransmit_una re-armed the timer
+        self._arm_rto()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Connection %s %s cwnd=%d>" % (
+            self.flow, self.state.value, self.cc.cwnd)

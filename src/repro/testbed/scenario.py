@@ -1,0 +1,205 @@
+"""Measurement scenario assembly.
+
+A :class:`Scenario` is the complete simulated universe of the paper's
+study: two service deployments (google-like and bing-akamai-like), a
+fleet of PlanetLab-style vantage points, and the plumbing to wire a
+vantage point to any front-end server with a geography-derived link.
+
+Links between clients and FEs are created lazily (a 250-node testbed
+against ~80 FE sites would otherwise mean ~20,000 mostly unused links),
+and are deterministic: re-requesting the same pair is a no-op.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.topology import Topology
+from repro.services.deployment import (
+    ServiceDeployment,
+    ServiceProfile,
+    bing_akamai_profile,
+    google_like_profile,
+)
+from repro.services.frontend import FrontEndServer
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams, derive_seed
+from repro.tcp.config import TcpConfig
+from repro.tcp.host import TcpHost
+from repro.testbed import sites
+from repro.testbed.vantage import VantagePoint, generate_vantage_points
+
+#: Route inflation used on client-FE paths (public Internet).
+CLIENT_ROUTE_INFLATION = 1.6
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of a measurement scenario."""
+
+    seed: int = 0
+    vantage_count: int = 240
+    client_bandwidth: float = units.mbps(100)
+    client_loss_rate: float = 0.0
+    akamai_coverage: float = 0.75
+    cache_static: bool = True
+    #: Probability that DNS maps a client to its second- or third-
+    #: nearest FE instead of the nearest (real 2011 DNS mapping was
+    #: resolver-based and imperfect; 0 keeps resolution deterministic).
+    dns_variance: float = 0.0
+    #: TCP config for vantage-point stacks.
+    client_tcp: TcpConfig = TcpConfig()
+
+    def __post_init__(self):
+        if not 0.0 <= self.dns_variance <= 1.0:
+            raise ValueError("dns_variance must be in [0, 1]")
+
+
+class Scenario:
+    """The full measurement universe."""
+
+    GOOGLE = "google-like"
+    BING = "bing-akamai"
+
+    def __init__(self, config: Optional[ScenarioConfig] = None, *,
+                 google_profile: Optional[ServiceProfile] = None,
+                 bing_profile: Optional[ServiceProfile] = None):
+        self.config = config or ScenarioConfig()
+        self.sim = Simulator()
+        self.streams = RandomStreams(self.config.seed)
+        self.topology = Topology(self.sim, self.streams)
+
+        google_profile = google_profile or google_like_profile()
+        bing_profile = bing_profile or bing_akamai_profile()
+        self.services: Dict[str, ServiceDeployment] = {
+            google_profile.name: ServiceDeployment(
+                self.sim, self.topology, self.streams, google_profile,
+                fe_sites=sites.google_like_fe_sites(),
+                be_sites=list(sites.GOOGLE_LIKE_BE_SITES),
+                cache_static=self.config.cache_static,
+                content_seed=self.config.seed),
+            bing_profile.name: ServiceDeployment(
+                self.sim, self.topology, self.streams, bing_profile,
+                fe_sites=sites.akamai_like_fe_sites(
+                    self.config.akamai_coverage),
+                be_sites=list(sites.BING_LIKE_BE_SITES),
+                cache_static=self.config.cache_static,
+                content_seed=self.config.seed + 1),
+        }
+        self.vantage_points: List[VantagePoint] = generate_vantage_points(
+            self.config.vantage_count, streams=self.streams)
+        self._client_hosts: Dict[str, TcpHost] = {}
+        self._links_built: set = set()
+        self._build_clients()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_clients(self) -> None:
+        for vp in self.vantage_points:
+            node = self.topology.add_node(vp.name, vp.location)
+            self._client_hosts[vp.name] = TcpHost(
+                self.sim, node, self.config.client_tcp, self.streams)
+
+    def client_host(self, vp: VantagePoint) -> TcpHost:
+        """The TCP stack of a vantage point."""
+        return self._client_hosts[vp.name]
+
+    def add_vantage_point(self, vp: VantagePoint) -> VantagePoint:
+        """Register an extra (custom-placed) vantage point.
+
+        Experiments that need controlled client placement — e.g. the
+        Figure-9 runner puts one client in each probed FE's metro — add
+        nodes here instead of relying on the generated fleet.
+        """
+        if vp.name in self._client_hosts:
+            raise ValueError("vantage point %r already exists" % vp.name)
+        node = self.topology.add_node(vp.name, vp.location)
+        self._client_hosts[vp.name] = TcpHost(
+            self.sim, node, self.config.client_tcp, self.streams)
+        self.vantage_points.append(vp)
+        return vp
+
+    def service(self, name: str) -> ServiceDeployment:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise KeyError("unknown service %r (have %s)"
+                           % (name, sorted(self.services))) from None
+
+    # ------------------------------------------------------------------
+    # client-FE wiring
+    # ------------------------------------------------------------------
+    def link_client_to_frontend(self, vp: VantagePoint,
+                                frontend: FrontEndServer,
+                                service: ServiceDeployment) -> float:
+        """Ensure a link between a vantage point and an FE.
+
+        Returns the one-way delay of the (possibly pre-existing) link.
+        The delay combines geographic propagation, the node's access
+        delay, and its peering penalty when the FE sits in another metro.
+        """
+        key = (vp.name, frontend.node.name)
+        fe_metro = service.site_of_node.get(frontend.node.name)
+        delay = vp.one_way_delay_to(frontend.location, fe_metro,
+                                    CLIENT_ROUTE_INFLATION)
+        if key in self._links_built:
+            return delay
+        self.topology.connect(vp.name, frontend.node.name,
+                              delay=delay,
+                              bandwidth=self.config.client_bandwidth,
+                              loss_rate=self.config.client_loss_rate)
+        self._links_built.add(key)
+        return delay
+
+    def client_fe_rtt(self, vp: VantagePoint,
+                      frontend: FrontEndServer,
+                      service: ServiceDeployment) -> float:
+        """Round-trip propagation delay between a client and an FE."""
+        fe_metro = service.site_of_node.get(frontend.node.name)
+        return 2.0 * vp.one_way_delay_to(frontend.location, fe_metro,
+                                         CLIENT_ROUTE_INFLATION)
+
+    # ------------------------------------------------------------------
+    # DNS-style default FE resolution
+    # ------------------------------------------------------------------
+    def default_frontend(self, service_name: str,
+                         vp: VantagePoint) -> FrontEndServer:
+        """The FE a DNS lookup returns for this vantage point.
+
+        Models 2011 DNS-based mapping: the FE with the lowest expected
+        RTT from the client's resolver (which shares the client's
+        metro).  With ``dns_variance`` > 0, the mapping occasionally
+        lands on the second- or third-nearest FE instead — the draw is
+        deterministic per (vantage point, service), like a cached,
+        slightly-off resolver answer.
+        """
+        service = self.service(service_name)
+        ranked = sorted(
+            service.frontends,
+            key=lambda frontend: self.client_fe_rtt(vp, frontend,
+                                                    service))
+        if not ranked:
+            raise RuntimeError("service %r has no front-ends"
+                               % service_name)
+        variance = self.config.dns_variance
+        if variance <= 0.0 or len(ranked) < 2:
+            return ranked[0]
+        # A fresh RNG per (service, vp) keeps repeated lookups stable,
+        # like a resolver's cached answer.
+        rng = random.Random(derive_seed(
+            self.streams.seed, "dns/%s/%s" % (service_name, vp.name)))
+        if rng.random() >= variance:
+            return ranked[0]
+        return ranked[min(len(ranked) - 1, 1 + int(rng.random() * 2))]
+
+    def connect_default(self, service_name: str,
+                        vp: VantagePoint) -> Tuple[FrontEndServer, float]:
+        """Resolve the default FE and ensure the link; returns (fe, rtt)."""
+        service = self.service(service_name)
+        frontend = self.default_frontend(service_name, vp)
+        one_way = self.link_client_to_frontend(vp, frontend, service)
+        return frontend, 2.0 * one_way

@@ -1,0 +1,117 @@
+"""Dedicated tests for temporal clustering of packet events."""
+
+import pytest
+
+from repro.analysis.clustering import (
+    EventCluster,
+    adaptive_gap,
+    classify_session,
+    cluster_by_gap,
+    handshake_rtt,
+)
+from repro.measure.capture import PacketEvent
+
+
+def make_event(time, direction="in", payload_len=100, syn=False,
+               ack_flag=True, seq=0):
+    return PacketEvent(time=time, direction=direction, src="s", dst="c",
+                       sport=80, dport=5000,
+                       wire_size=40 + payload_len,
+                       payload_len=payload_len, seq=seq, ack=0,
+                       syn=syn, fin=False, ack_flag=ack_flag,
+                       retransmit=False, payload=None)
+
+
+def test_cluster_by_gap_splits_at_gaps():
+    events = [make_event(t) for t in (0.0, 0.001, 0.002,
+                                      0.100, 0.101,
+                                      0.300)]
+    clusters = cluster_by_gap(events, gap=0.050)
+    assert [len(c.events) for c in clusters] == [3, 2, 1]
+    assert clusters[0].span == pytest.approx(0.002)
+    assert clusters[1].start == pytest.approx(0.100)
+
+
+def test_cluster_by_gap_single_cluster():
+    events = [make_event(t) for t in (0.0, 0.01, 0.02)]
+    clusters = cluster_by_gap(events, gap=0.5)
+    assert len(clusters) == 1
+    assert clusters[0].payload_bytes == 300
+
+
+def test_cluster_by_gap_empty_and_validation():
+    assert cluster_by_gap([], gap=0.1) == []
+    with pytest.raises(ValueError):
+        cluster_by_gap([], gap=0)
+
+
+def test_event_cluster_properties():
+    cluster = EventCluster(events=[make_event(1.0, syn=True),
+                                   make_event(1.5)])
+    assert cluster.start == 1.0
+    assert cluster.end == 1.5
+    assert cluster.span == 0.5
+    assert cluster.has_handshake
+
+
+class FakeSession:
+    def __init__(self, events, query_id="q"):
+        self.events = events
+        self.query_id = query_id
+
+    def inbound_data_events(self):
+        return [e for e in self.events
+                if e.direction == "in" and e.payload_len > 0]
+
+
+def handshake_events(rtt=0.040):
+    return [make_event(0.0, direction="out", payload_len=0, syn=True,
+                       ack_flag=False),
+            make_event(rtt, direction="in", payload_len=0, syn=True)]
+
+
+def test_handshake_rtt_extraction():
+    session = FakeSession(handshake_events(rtt=0.123))
+    assert handshake_rtt(session) == pytest.approx(0.123)
+    with pytest.raises(ValueError):
+        handshake_rtt(FakeSession([make_event(0.0)]))
+
+
+def test_adaptive_gap_scales_with_rtt():
+    fast = FakeSession(handshake_events(rtt=0.004))
+    slow = FakeSession(handshake_events(rtt=0.200))
+    assert adaptive_gap(fast) == pytest.approx(0.004)  # floor
+    assert adaptive_gap(slow) == pytest.approx(0.100)  # rtt/2
+
+
+def test_classify_session_separated_bursts():
+    rtt = 0.040
+    events = handshake_events(rtt)
+    events.append(make_event(rtt, direction="out", payload_len=80))
+    # Static burst then a big gap then the dynamic burst.
+    for t in (0.08, 0.081, 0.082):
+        events.append(make_event(t))
+    for t in (0.40, 0.401):
+        events.append(make_event(t))
+    clusters = classify_session(FakeSession(events))
+    assert clusters.handshake.has_handshake
+    assert len(clusters.bursts) == 2
+    assert not clusters.merged
+    assert clusters.gap_after_first_burst == pytest.approx(0.318)
+
+
+def test_classify_session_merged_bursts():
+    rtt = 0.040
+    events = handshake_events(rtt)
+    events.append(make_event(rtt, direction="out", payload_len=80))
+    for t in (0.08, 0.081, 0.082, 0.083):
+        events.append(make_event(t))
+    clusters = classify_session(FakeSession(events))
+    assert clusters.merged
+    assert clusters.gap_after_first_burst == 0.0
+
+
+def test_classify_session_requires_data():
+    session = FakeSession(handshake_events())
+    with pytest.raises(ValueError):
+        classify_session(session)

@@ -1,0 +1,162 @@
+"""Integration tests: HTTP over the simulated network."""
+
+import pytest
+
+from repro.http.client import HttpFetch, PersistentHttpClient, RequestHooks
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.server import HttpServer
+from repro.net.address import Endpoint
+from repro.sim import units
+
+from .conftest import make_world
+
+RTT = units.ms(40)
+
+
+def simple_handler(body=b"response-body"):
+    def handler(request, responder):
+        responder.respond(HttpResponse(status=200, body=body))
+    return handler
+
+
+def test_single_fetch_roundtrip(two_hosts):
+    world = two_hosts
+    HttpServer(world.server, 80, simple_handler(b"hello"))
+    fetch = HttpFetch(world.client, Endpoint("server", 80),
+                      HttpRequest(path="/x"))
+    world.run()
+    assert fetch.complete
+    assert fetch.response.body == b"hello"
+    assert fetch.response.status == 200
+
+
+def test_fetch_hooks_fire_in_order(two_hosts):
+    world = two_hosts
+    HttpServer(world.server, 80, simple_handler(b"abc"))
+    events = []
+    hooks = RequestHooks(
+        on_head=lambda r: events.append("head"),
+        on_body=lambda b: events.append("body"),
+        on_complete=lambda r: events.append("end"))
+    HttpFetch(world.client, Endpoint("server", 80),
+              HttpRequest(path="/"), hooks)
+    world.run()
+    assert events == ["head", "body", "end"]
+
+
+def test_streamed_response_two_parts_timing(two_hosts):
+    """Server sends part 1 immediately and part 2 after a delay; the
+    client must see the gap (this is the static/dynamic pattern)."""
+    world = two_hosts
+    sim = world.sim
+    delay = 0.200
+
+    def handler(request, responder):
+        responder.send_head(200)
+        responder.send_body(b"S" * 1000)
+        def later():
+            responder.send_body(b"D" * 1000)
+            responder.finish()
+        sim.schedule(delay, later)
+
+    HttpServer(world.server, 80, handler)
+    arrivals = []
+    hooks = RequestHooks(on_body=lambda b: arrivals.append((sim.now, b[:1])))
+    fetch = HttpFetch(world.client, Endpoint("server", 80),
+                      HttpRequest(path="/q"), hooks)
+    world.run()
+    assert fetch.response.body == b"S" * 1000 + b"D" * 1000
+    static_times = [t for t, tag in arrivals if tag == b"S"]
+    dynamic_times = [t for t, tag in arrivals if tag == b"D"]
+    assert dynamic_times[0] - static_times[-1] == pytest.approx(delay,
+                                                                abs=0.02)
+
+
+def test_persistent_client_sequential_requests(two_hosts):
+    world = two_hosts
+    served_paths = []
+
+    def handler(request, responder):
+        served_paths.append(request.path)
+        responder.respond(HttpResponse(body=b"resp:" +
+                                       request.path.encode()))
+
+    HttpServer(world.server, 80, handler)
+    client = PersistentHttpClient(world.client, Endpoint("server", 80))
+    got = []
+    for i in range(3):
+        client.request(HttpRequest(path="/req%d" % i),
+                       RequestHooks(on_complete=lambda r: got.append(r.body)))
+    world.run()
+    assert served_paths == ["/req0", "/req1", "/req2"]
+    assert got == [b"resp:/req0", b"resp:/req1", b"resp:/req2"]
+    assert client.requests_completed == 3
+    assert not client.busy
+
+
+def test_persistent_client_keeps_window_warm(two_hosts):
+    """Second identical response must complete faster than the first
+    because the congestion window carries over (split-TCP's core claim)."""
+    world = two_hosts
+    body = b"z" * 60_000
+
+    def handler(request, responder):
+        responder.respond(HttpResponse(body=body))
+
+    HttpServer(world.server, 80, handler)
+    client = PersistentHttpClient(world.client, Endpoint("server", 80))
+    finish_times = []
+    start_times = []
+
+    def issue():
+        start_times.append(world.sim.now)
+        client.request(HttpRequest(path="/big"),
+                       RequestHooks(on_complete=lambda r:
+                                    finish_times.append(world.sim.now)))
+
+    issue()
+    world.sim.run()
+    issue()
+    world.sim.run()
+    first = finish_times[0] - start_times[0]
+    second = finish_times[1] - start_times[1]
+    assert second < first - RTT  # at least one full RTT saved
+
+
+def test_fetch_failure_hook_on_dead_server(two_hosts):
+    world = two_hosts  # nothing listening on port 81
+    failures = []
+    fetch = HttpFetch(world.client, Endpoint("server", 81),
+                      HttpRequest(path="/"),
+                      RequestHooks(on_failure=failures.append))
+    world.run(until=500.0)
+    assert not fetch.complete
+    assert failures
+
+
+def test_server_counts_and_multiple_connections(two_hosts):
+    world = two_hosts
+    server = HttpServer(world.server, 80, simple_handler())
+    fetches = [HttpFetch(world.client, Endpoint("server", 80),
+                         HttpRequest(path="/%d" % i)) for i in range(4)]
+    world.run()
+    assert all(f.complete for f in fetches)
+    assert server.requests_served == 4
+    assert server.connections_accepted == 4
+
+
+def test_streaming_under_loss_preserves_body():
+    world = make_world(loss_rate=0.03, seed=9)
+
+    def handler(request, responder):
+        responder.send_head(200)
+        responder.send_body(b"S" * 4000)
+        world.sim.schedule(0.1, lambda: (responder.send_body(b"D" * 30_000),
+                                         responder.finish()))
+
+    HttpServer(world.server, 80, handler)
+    fetch = HttpFetch(world.client, Endpoint("server", 80),
+                      HttpRequest(path="/"))
+    world.run(until=300.0)
+    assert fetch.complete
+    assert fetch.response.body == b"S" * 4000 + b"D" * 30_000

@@ -1,0 +1,323 @@
+"""Tests for network primitives: addresses, packets, geo, links, routing."""
+
+import pytest
+
+from repro.net.address import Endpoint, EphemeralPortAllocator, FlowKey
+from repro.net.geo import GeoPoint, haversine_miles, nearest
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.routing import build_routing_tables, dijkstra
+from repro.net.topology import Topology
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+# ---------------------------------------------------------------------------
+# addresses
+# ---------------------------------------------------------------------------
+def test_endpoint_validation_and_str():
+    endpoint = Endpoint("host-a", 80)
+    assert str(endpoint) == "host-a:80"
+    with pytest.raises(ValueError):
+        Endpoint("", 80)
+    with pytest.raises(ValueError):
+        Endpoint("h", 0)
+    with pytest.raises(ValueError):
+        Endpoint("h", 70000)
+
+
+def test_flow_key_reversal():
+    flow = FlowKey(Endpoint("a", 1234), Endpoint("b", 80))
+    assert flow.reversed() == FlowKey(Endpoint("b", 80), Endpoint("a", 1234))
+    assert flow.reversed().reversed() == flow
+
+
+def test_ephemeral_ports_unique_until_released():
+    alloc = EphemeralPortAllocator()
+    p1 = alloc.allocate()
+    p2 = alloc.allocate()
+    assert p1 != p2
+    assert p1 >= EphemeralPortAllocator.FIRST
+    alloc.release(p1)
+    # After a full wrap, p1 becomes available again.
+    seen = {alloc.allocate() for _ in range(100)}
+    assert len(seen) == 100
+
+
+# ---------------------------------------------------------------------------
+# packets
+# ---------------------------------------------------------------------------
+def test_packet_uids_unique_and_hops_tracked():
+    pkt1 = Packet("a", "b", "tcp", 100)
+    pkt2 = Packet("a", "b", "tcp", 100)
+    assert pkt1.uid != pkt2.uid
+    pkt1.record_hop("a")
+    pkt1.record_hop("r1")
+    assert pkt1.hops == ["a", "r1"]
+
+
+def test_packet_hop_budget_enforced():
+    pkt = Packet("a", "b", "tcp", 10)
+    for i in range(Packet.MAX_HOPS):
+        pkt.record_hop("n%d" % i)
+    with pytest.raises(RuntimeError):
+        pkt.record_hop("one-too-many")
+
+
+def test_packet_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Packet("a", "b", "tcp", -1)
+
+
+# ---------------------------------------------------------------------------
+# geo
+# ---------------------------------------------------------------------------
+def test_haversine_known_distance():
+    # Minneapolis to Chicago is about 355 miles great-circle.
+    msp = GeoPoint(44.98, -93.27)
+    chi = GeoPoint(41.88, -87.63)
+    distance = msp.distance_miles(chi)
+    assert 330 < distance < 380
+
+
+def test_haversine_zero_and_symmetry():
+    a = GeoPoint(10.0, 20.0)
+    b = GeoPoint(-33.0, 151.0)
+    assert a.distance_miles(a) == 0.0
+    assert a.distance_miles(b) == pytest.approx(b.distance_miles(a))
+
+
+def test_geo_validation():
+    with pytest.raises(ValueError):
+        GeoPoint(91, 0)
+    with pytest.raises(ValueError):
+        GeoPoint(0, 200)
+
+
+def test_nearest_picks_minimum():
+    class Site:
+        def __init__(self, lat, lon):
+            self.location = GeoPoint(lat, lon)
+
+    target = GeoPoint(0, 0)
+    sites = [Site(50, 50), Site(1, 1), Site(-30, 10)]
+    best, distance = nearest(target, sites)
+    assert best is sites[1]
+    assert distance == pytest.approx(haversine_miles(0, 0, 1, 1))
+    with pytest.raises(ValueError):
+        nearest(target, [])
+
+
+# ---------------------------------------------------------------------------
+# links
+# ---------------------------------------------------------------------------
+def test_link_delivery_includes_tx_and_prop_delay():
+    sim = Simulator()
+    arrivals = []
+    link = Link(sim, "l", delay=0.010, bandwidth=1000.0,  # 1000 B/s
+                deliver=lambda p: arrivals.append(sim.now))
+    link.send(Packet("a", "b", "tcp", 500))
+    sim.run()
+    # 500 B at 1000 B/s = 0.5 s tx + 0.01 s prop.
+    assert arrivals == [pytest.approx(0.51)]
+
+
+def test_link_serializes_back_to_back_packets():
+    sim = Simulator()
+    arrivals = []
+    link = Link(sim, "l", delay=0.0, bandwidth=1000.0,
+                deliver=lambda p: arrivals.append(sim.now))
+    link.send(Packet("a", "b", "tcp", 1000))
+    link.send(Packet("a", "b", "tcp", 1000))
+    sim.run()
+    assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_link_loss_rate_statistics():
+    sim = Simulator()
+    received = []
+    link = Link(sim, "lossy", delay=0.0, bandwidth=1e9,
+                deliver=lambda p: received.append(p),
+                loss_rate=0.3, streams=RandomStreams(1))
+    for _ in range(2000):
+        link.send(Packet("a", "b", "tcp", 100))
+    sim.run()
+    loss = link.stats.loss_fraction
+    assert 0.25 < loss < 0.35
+    assert len(received) == link.stats.packets_delivered
+    assert link.stats.packets_offered == 2000
+
+
+def test_link_tail_drop_on_queue_overflow():
+    sim = Simulator()
+    delivered = []
+    link = Link(sim, "tiny", delay=0.0, bandwidth=100.0,
+                deliver=lambda p: delivered.append(p),
+                queue_limit_bytes=250)
+    accepted = [link.send(Packet("a", "b", "tcp", 100)) for _ in range(5)]
+    sim.run()
+    assert accepted[0] and accepted[1]
+    assert not all(accepted)
+    assert link.stats.packets_dropped_queue >= 1
+    assert len(delivered) == sum(accepted)
+
+
+def test_link_jitter_preserves_fifo():
+    sim = Simulator()
+    order = []
+    link = Link(sim, "jit", delay=0.01, bandwidth=1e9,
+                deliver=lambda p: order.append(p.uid),
+                jitter=0.05, streams=RandomStreams(3))
+    pkts = [Packet("a", "b", "tcp", 100) for _ in range(50)]
+    for p in pkts:
+        link.send(p)
+    sim.run()
+    assert order == [p.uid for p in pkts]
+
+
+def test_link_parameter_validation():
+    sim = Simulator()
+    deliver = lambda p: None
+    with pytest.raises(ValueError):
+        Link(sim, "x", delay=-1, bandwidth=1, deliver=deliver)
+    with pytest.raises(ValueError):
+        Link(sim, "x", delay=0, bandwidth=0, deliver=deliver)
+    with pytest.raises(ValueError):
+        Link(sim, "x", delay=0, bandwidth=1, deliver=deliver, loss_rate=1.0)
+
+
+# ---------------------------------------------------------------------------
+# routing
+# ---------------------------------------------------------------------------
+def test_dijkstra_simple_chain():
+    graph = {"a": {"b": 1.0}, "b": {"a": 1.0, "c": 2.0}, "c": {"b": 2.0}}
+    distances, hops = dijkstra(graph, "a")
+    assert distances["c"] == pytest.approx(3.0)
+    assert hops["c"] == "b"
+    assert hops["b"] == "b"
+
+
+def test_dijkstra_prefers_shorter_path():
+    graph = {
+        "a": {"b": 1.0, "c": 10.0},
+        "b": {"a": 1.0, "c": 1.0},
+        "c": {"a": 10.0, "b": 1.0},
+    }
+    distances, hops = dijkstra(graph, "a")
+    assert distances["c"] == pytest.approx(2.0)
+    assert hops["c"] == "b"
+
+
+def test_dijkstra_unreachable_absent():
+    graph = {"a": {"b": 1.0}, "b": {"a": 1.0}, "island": {}}
+    distances, hops = dijkstra(graph, "a")
+    assert "island" not in distances
+    assert "island" not in hops
+
+
+def test_dijkstra_rejects_negative_weight():
+    with pytest.raises(ValueError):
+        dijkstra({"a": {"b": -1.0}, "b": {}}, "a")
+
+
+def test_build_routing_tables_all_sources():
+    graph = {"a": {"b": 1.0}, "b": {"a": 1.0, "c": 1.0}, "c": {"b": 1.0}}
+    tables = build_routing_tables(graph)
+    assert tables["a"]["c"] == "b"
+    assert tables["c"]["a"] == "b"
+
+
+# ---------------------------------------------------------------------------
+# topology end-to-end
+# ---------------------------------------------------------------------------
+def test_topology_routes_and_forwarding():
+    sim = Simulator()
+    topo = Topology(sim)
+    for name in ("a", "r", "b"):
+        topo.add_node(name)
+    topo.connect("a", "r", delay=0.005, bandwidth=units.mbps(100))
+    topo.connect("r", "b", delay=0.010, bandwidth=units.mbps(100))
+    topo.build_routes()
+
+    got = []
+    topo.node("b").register_protocol("test", lambda p: got.append(sim.now))
+    pkt = Packet("a", "b", "test", 100)
+    topo.node("a").send(pkt)
+    sim.run()
+    assert len(got) == 1
+    assert got[0] > 0.015  # at least the propagation delays
+    assert pkt.hops == ["a", "r"]
+    assert topo.node("r").stats.forwarded == 1
+
+
+def test_topology_path_delay_and_rtt():
+    sim = Simulator()
+    topo = Topology(sim)
+    for name in ("a", "r", "b"):
+        topo.add_node(name)
+    topo.connect("a", "r", delay=0.005, bandwidth=units.mbps(10))
+    topo.connect("r", "b", delay=0.010, bandwidth=units.mbps(10))
+    assert topo.path_delay("a", "b") == pytest.approx(0.015)
+    assert topo.rtt("a", "b") == pytest.approx(0.030)
+
+
+def test_topology_geo_derived_delay():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_node("msp", GeoPoint(44.98, -93.27))
+    topo.add_node("chi", GeoPoint(41.88, -87.63))
+    forward, backward = topo.connect("msp", "chi",
+                                     bandwidth=units.mbps(100))
+    # ~355 miles * 1.6 inflation / fiber speed ~= 4.6 ms one-way.
+    assert 0.003 < forward.delay < 0.007
+    assert forward.delay == backward.delay
+
+
+def test_topology_requires_some_delay_source():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_node("x")
+    topo.add_node("y")
+    with pytest.raises(ValueError):
+        topo.connect("x", "y")
+
+
+def test_topology_duplicate_node_rejected():
+    topo = Topology(Simulator())
+    topo.add_node("n")
+    with pytest.raises(ValueError):
+        topo.add_node("n")
+
+
+def test_node_drops_without_route_or_handler():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.connect("a", "b", delay=0.001, bandwidth=units.mbps(1))
+    topo.build_routes()
+    # No handler registered on b for protocol "nope".
+    topo.node("a").send(Packet("a", "b", "nope", 10))
+    # No route at all to "ghost".
+    assert topo.node("a").send(Packet("a", "ghost", "tcp", 10)) is False
+    sim.run()
+    assert topo.node("b").stats.dropped_no_handler == 1
+    assert topo.node("a").stats.dropped_no_route == 1
+
+
+def test_node_taps_observe_events():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.connect("a", "b", delay=0.001, bandwidth=units.mbps(1))
+    topo.build_routes()
+    topo.node("b").register_protocol("t", lambda p: None)
+    events = []
+    topo.node("a").add_tap(lambda e, p: events.append(("a", e)))
+    topo.node("b").add_tap(lambda e, p: events.append(("b", e)))
+    topo.node("a").send(Packet("a", "b", "t", 10))
+    sim.run()
+    assert ("a", "send") in events
+    assert ("b", "recv") in events

@@ -1,0 +1,196 @@
+"""Smoke tests for report renderers and the `python -m repro` CLI."""
+
+import pytest
+
+from repro.analysis.stats import BoxStats, LinearFit
+from repro.content.keywords import Keyword
+from repro.core.cache_detect import CacheDetectionResult
+from repro.core.compare import compare_services
+from repro.core.factoring import DistancePoint, FetchFactoring
+from repro.experiments import report
+from repro.experiments.ablation import (
+    CacheAblationResult,
+    IdleResetAblationResult,
+    LossAblationResult,
+    LossSweepPoint,
+    PlacementAblationResult,
+    PlacementPoint,
+    SplitTcpAblationResult,
+)
+from repro.experiments.caching import CachingExperimentResult
+from repro.experiments.dataset_a import Fig6Result, Fig7Result, Fig8Result
+from repro.experiments.fig3 import Fig3Result, KeywordSeries
+from repro.experiments.fig9 import Fig9Result, Fig9ServiceResult
+from repro.experiments.keyword_effects import (
+    KeywordEffect,
+    KeywordEffectsResult,
+    render_keyword_effects,
+)
+from repro.experiments.residential import (
+    AccessProfileRow,
+    ResidentialResult,
+    render_residential,
+)
+from repro.experiments.validation import ValidationResult
+from repro.core.bounds import BoundSample, BoundsReport
+from repro.testbed.scenario import Scenario
+
+from .test_core_inference import make_metric
+
+
+def kw(text, pop=0.5, cx=0.5):
+    return Keyword(text=text, popularity=pop, complexity=cx)
+
+
+# ---------------------------------------------------------------------------
+# renderers on synthetic results
+# ---------------------------------------------------------------------------
+def test_render_fig3():
+    series = {}
+    for text, base in (("easy", 0.1), ("hard", 0.4)):
+        entry = KeywordSeries(kw(text))
+        entry.tstatic = [0.02] * 20
+        entry.tdynamic = [base] * 20
+        series[text] = entry
+    text = report.render_fig3(Fig3Result(service="svc", series=series))
+    assert "easy" in text and "hard" in text
+    assert "separation ratio" in text
+
+
+def test_render_fig6_7_8():
+    fig6 = Fig6Result(cdfs={"a": [(0.01, 0.5), (0.02, 1.0)],
+                            "b": [(0.05, 1.0)]},
+                      under_20ms={"a": 0.8, "b": 0.5})
+    text = report.render_fig6(fig6)
+    assert "80%" in text and "50%" in text
+
+    metrics_a = [make_metric(0.005, 0.02, 0.3, service="a")
+                 for _ in range(5)]
+    metrics_b = [make_metric(0.030, 0.01, 0.05, service="b")
+                 for _ in range(5)]
+    comparison = compare_services({"a": metrics_a, "b": metrics_b})
+    fig7 = Fig7Result(tstatic={"a": [(0.005, 0.02)]},
+                      tdynamic={"a": [(0.005, 0.3)]},
+                      comparison=comparison)
+    text = report.render_fig7(fig7)
+    assert "paradox" in text
+
+    box = BoxStats(0.1, 0.2, 0.3, 0.4, 0.5)
+    fig8 = Fig8Result(boxes={"a": [("node-%02d" % i, box)
+                                   for i in range(12)]},
+                      comparison=comparison)
+    text = report.render_fig8(fig8)
+    assert "2 more nodes" in text
+
+
+def test_render_fig9():
+    factoring = FetchFactoring(
+        points=(DistancePoint("fe-a", 100, 0.26, 10),
+                DistancePoint("fe-b", 300, 0.28, 10)),
+        fit=LinearFit(slope=0.0001, intercept=0.25, r_squared=0.9, n=20))
+    panel = Fig9ServiceResult(service=Scenario.BING,
+                              backend_name="be-x", factoring=factoring)
+    google_panel = Fig9ServiceResult(
+        service=Scenario.GOOGLE, backend_name="be-y",
+        factoring=FetchFactoring(
+            points=(DistancePoint("fe-c", 200, 0.04, 10),
+                    DistancePoint("fe-d", 500, 0.06, 10)),
+            fit=LinearFit(slope=0.00008, intercept=0.034,
+                          r_squared=0.95, n=20)))
+    result = Fig9Result(panels={Scenario.BING: panel,
+                                Scenario.GOOGLE: google_panel})
+    text = report.render_fig9(result)
+    assert "intercept ratio" in text
+    assert result.intercept_ratio() == pytest.approx(0.25 / 0.034)
+    assert result.slopes_similar()
+
+
+def test_render_caching_and_validation():
+    detection = CacheDetectionResult(
+        median_same=0.25, median_distinct=0.3, ks_statistic=0.2,
+        p_value=0.2, caching_detected=False)
+    caching = CachingExperimentResult(
+        service="svc", caching_enabled_in_simulator=False,
+        detection=detection, same_samples=10, distinct_samples=10)
+    assert "NOT" in report.render_caching(caching)
+
+    bounds = BoundsReport(samples=[
+        BoundSample("q1", 0.1, 0.15, 0.2, 0.01)])
+    validation = ValidationResult(service="svc", bounds=bounds,
+                                  proxy_errors=[(0.01, 0.02)])
+    text = report.render_validation(validation)
+    assert "100.0%" in text
+
+
+def test_render_ablations():
+    split = SplitTcpAblationResult(service="svc", split_median=0.4,
+                                   direct_median=0.6, samples=10)
+    assert "1.50x" in report.render_split_tcp(split)
+
+    cache = CacheAblationResult(service="svc", ttfb_cached=0.02,
+                                ttfb_uncached=0.3, overall_cached=0.4,
+                                overall_uncached=0.45)
+    assert "TTFB" in report.render_cache_ablation(cache)
+
+    placement = PlacementAblationResult(service="svc", points=[
+        PlacementPoint(0.3, 0.02, 0.35),
+        PlacementPoint(0.9, 0.005, 0.34)])
+    assert "coverage" in report.render_placement(placement)
+
+    idle = IdleResetAblationResult(service="svc",
+                                   warm_tfetch_median=0.2,
+                                   cold_tfetch_median=0.5, samples=10)
+    assert "penalty=300.0ms" in report.render_idle_reset(idle)
+
+    loss = LossAblationResult(service="svc", points=[
+        LossSweepPoint(0.0, 0.4, 0.5),
+        LossSweepPoint(0.03, 0.42, 0.9)])
+    assert "grows with loss: True" in report.render_loss(loss)
+
+
+def test_render_residential_and_keywords():
+    rows = [AccessProfileRow("campus", "svc", 0.006, 0.9, 0.3, 0.35, 1.0),
+            AccessProfileRow("mobile-3g", "svc", 0.15, 0.0, 0.4, 1.0,
+                             0.3)]
+    result = ResidentialResult(service="svc", rows=rows)
+    text = render_residential(result)
+    assert "campus" in text and "mobile-3g" in text
+    assert result.rtts_degrade()
+    assert result.placement_relevance_shrinks()
+    assert result.row("campus").median_rtt == 0.006
+    with pytest.raises(KeyError):
+        result.row("nope")
+
+    effects = KeywordEffectsResult(service="svc", effects=[
+        KeywordEffect(kw("cheap", pop=0.9, cx=0.1), 0.15, 5),
+        KeywordEffect(kw("costly query words", pop=0.1, cx=0.9), 0.45,
+                      5)])
+    effects.word_count_rho = 0.9
+    text = render_keyword_effects(effects)
+    assert "cheapest" in text and "costliest" in text
+    cheapest, costliest = effects.extremes()
+    assert cheapest.keyword.text == "cheap"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_runs_single_experiment(capsys):
+    from repro.__main__ import main
+    exit_code = main(["fig4", "--scale", "tiny", "--seed", "1"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "completed in" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.__main__ import main
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+def test_cli_rejects_unknown_scale():
+    from repro.__main__ import main
+    with pytest.raises(SystemExit):
+        main(["fig4", "--scale", "galactic"])

@@ -1,0 +1,139 @@
+"""Tests for the coroutine-style process runner."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import ProcessFailure, Signal, Sleep, WaitEvent, spawn
+
+
+def test_sleep_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def body():
+        log.append(sim.now)
+        yield Sleep(2.5)
+        log.append(sim.now)
+
+    spawn(sim, body())
+    sim.run()
+    assert log == [0.0, 2.5]
+
+
+def test_signal_wakes_waiter_with_value():
+    sim = Simulator()
+    got = []
+
+    def waiter(signal):
+        value = yield WaitEvent(signal)
+        got.append(value)
+
+    signal = Signal()
+    spawn(sim, waiter(signal))
+    sim.schedule(3.0, signal.fire, "payload")
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_signal_wakes_all_current_waiters():
+    sim = Simulator()
+    got = []
+
+    def waiter(signal, tag):
+        value = yield WaitEvent(signal)
+        got.append((tag, value))
+
+    signal = Signal()
+    spawn(sim, waiter(signal, "a"))
+    spawn(sim, waiter(signal, "b"))
+    sim.schedule(1.0, signal.fire, 42)
+    sim.run()
+    assert sorted(got) == [("a", 42), ("b", 42)]
+
+
+def test_wait_event_timeout_returns_none():
+    sim = Simulator()
+    got = []
+
+    def waiter(signal):
+        value = yield WaitEvent(signal, timeout=2.0)
+        got.append((value, sim.now))
+
+    spawn(sim, waiter(Signal()))
+    sim.run()
+    assert got == [(None, 2.0)]
+
+
+def test_subprocess_return_value_propagates():
+    sim = Simulator()
+    result = []
+
+    def child():
+        yield Sleep(1.0)
+        return 99
+
+    def parent():
+        value = yield child()
+        result.append((value, sim.now))
+
+    spawn(sim, parent())
+    sim.run()
+    assert result == [(99, 1.0)]
+
+
+def test_process_result_and_done_signal():
+    sim = Simulator()
+
+    def body():
+        yield Sleep(1.0)
+        return "done-value"
+
+    process = spawn(sim, body())
+    done_seen = []
+
+    def watcher():
+        value = yield WaitEvent(process.done_signal)
+        done_seen.append(value)
+
+    spawn(sim, watcher())
+    sim.run()
+    assert process.finished
+    assert process.result == "done-value"
+    assert done_seen == ["done-value"]
+
+
+def test_exception_in_body_raises_process_failure():
+    sim = Simulator()
+
+    def bad():
+        yield Sleep(1.0)
+        raise RuntimeError("boom")
+
+    spawn(sim, bad())
+    with pytest.raises(ProcessFailure):
+        sim.run()
+
+
+def test_yielding_garbage_raises_type_error():
+    sim = Simulator()
+
+    def bad():
+        yield 12345
+
+    spawn(sim, bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_signal_fire_count_and_return():
+    sim = Simulator()
+    signal = Signal("s")
+
+    def waiter():
+        yield WaitEvent(signal)
+
+    spawn(sim, waiter())
+    sim.run()  # waiter is now blocked
+    assert signal.fire(1) == 1
+    assert signal.fire(2) == 0  # nobody left
+    assert signal.fire_count == 2

@@ -1,0 +1,91 @@
+"""Tests for RFC 2861 idle-window reset (slow_start_after_idle)."""
+
+import pytest
+
+from repro.net.address import Endpoint
+from repro.sim import units
+from repro.tcp.config import TcpConfig
+from repro.tcp.congestion import FixedWindowController
+
+from .conftest import make_world
+from .helpers import CollectorApp, EchoServerApp, make_payload
+
+RTT = units.ms(40)
+
+
+def warm_connection(world, client_config=None):
+    """Open a connection and push one bulk exchange to grow cwnd."""
+    world.server.listen(80, EchoServerApp)
+    client = CollectorApp()
+    conn = world.client.connect(Endpoint("server", 80), client)
+    world.sim.run()
+    conn.send(make_payload(50_000))
+    world.sim.run()
+    return conn, client
+
+
+def test_idle_reset_collapses_cwnd():
+    config = TcpConfig(slow_start_after_idle=True)
+    world = make_world(rtt=RTT, client_config=config)
+    conn, client = warm_connection(world)
+    warm_cwnd = conn.cc.cwnd
+    assert warm_cwnd > config.initial_cwnd_bytes
+    # Go idle for far longer than the RTO, then send again.
+    world.sim.schedule(30.0, conn.send, b"x")
+    world.sim.run()
+    assert conn.cc.cwnd <= config.initial_cwnd_bytes + config.mss
+
+
+def test_no_reset_when_disabled():
+    config = TcpConfig(slow_start_after_idle=False)
+    world = make_world(rtt=RTT, client_config=config)
+    conn, client = warm_connection(world)
+    warm_cwnd = conn.cc.cwnd
+    world.sim.schedule(30.0, conn.send, b"x")
+    world.sim.run()
+    assert conn.cc.cwnd >= warm_cwnd
+
+
+def test_fixed_window_unaffected_by_idle_reset():
+    config = TcpConfig(slow_start_after_idle=True,
+                       fixed_window_bytes=64_000)
+    world = make_world(rtt=RTT, client_config=config)
+    conn, client = warm_connection(world)
+    assert isinstance(conn.cc, FixedWindowController)
+    world.sim.schedule(30.0, conn.send, b"x")
+    world.sim.run()
+    assert conn.cc.cwnd == 64_000
+
+
+def test_short_idle_does_not_reset():
+    config = TcpConfig(slow_start_after_idle=True)
+    world = make_world(rtt=RTT, client_config=config)
+    conn, client = warm_connection(world)
+    warm_cwnd = conn.cc.cwnd
+    # Idle for well under the RTO (min RTO 200 ms).
+    world.sim.schedule(world.sim.now + 0.05 - world.sim.now,
+                       conn.send, b"x")
+    world.sim.run()
+    assert conn.cc.cwnd >= warm_cwnd
+
+
+def test_reset_transfer_is_slower_than_warm():
+    """The end-to-end consequence: a post-idle burst takes extra RTTs."""
+    durations = {}
+    for reset in (False, True):
+        config = TcpConfig(slow_start_after_idle=reset)
+        world = make_world(rtt=units.ms(100), bandwidth=units.gbps(1),
+                           client_config=config)
+        conn, client = warm_connection(world)
+        start = world.sim.now + 30.0
+        world.sim.schedule(30.0, conn.send, make_payload(60_000))
+        world.sim.run()
+        durations[reset] = world.sim.now - start
+    assert durations[True] > durations[False] + units.ms(100)
+
+
+def test_fixed_window_config_validation():
+    with pytest.raises(ValueError):
+        TcpConfig(fixed_window_bytes=100)  # below one MSS
+    config = TcpConfig(fixed_window_bytes=2920)
+    assert config.fixed_window_bytes == 2920

@@ -1,0 +1,40 @@
+"""Tests for the what-if experiment runner (both-service fitting)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.whatif import render_whatif, run_whatif
+from repro.testbed.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def whatif_result():
+    return run_whatif(ExperimentScale.tiny(seed=1))
+
+
+def test_whatif_fits_both_services(whatif_result):
+    assert set(whatif_result.fitted) == {Scenario.GOOGLE, Scenario.BING}
+    for fitted in whatif_result.fitted.values():
+        assert fitted.samples > 20
+        assert fitted.model.tfetch > 0
+
+
+def test_whatif_separates_services_like_fig9(whatif_result):
+    bing = whatif_result.fitted[Scenario.BING].model
+    google = whatif_result.fitted[Scenario.GOOGLE].model
+    assert bing.tfetch > 3 * google.tfetch
+    assert bing.static_windows >= google.static_windows
+
+
+def test_whatif_thresholds_in_paper_bands(whatif_result):
+    google_threshold = whatif_result.advice[Scenario.GOOGLE].threshold_rtt
+    bing_threshold = whatif_result.advice[Scenario.BING].threshold_rtt
+    assert 0.03 <= google_threshold <= 0.11
+    assert 0.10 <= bing_threshold <= 0.26
+
+
+def test_whatif_render(whatif_result):
+    text = render_whatif(whatif_result)
+    assert "placement threshold" in text
+    assert Scenario.BING in text and Scenario.GOOGLE in text
+    assert "advice:" in text
