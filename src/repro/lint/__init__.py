@@ -1,0 +1,46 @@
+"""simlint — static analysis for the simulation universe.
+
+Three rule packs guard the invariants the paper's numbers rest on:
+
+* :mod:`repro.lint.determinism` (DET001-DET005) — no host clocks, OS
+  entropy, shared global ``random``, salted ``hash()`` seeds, or
+  set-iteration order leaking into the event queue.
+* :mod:`repro.lint.unit_safety` (UNIT001-UNIT004) — suffix-checked unit
+  discipline (``_ms``/``_s``/``_miles``/``_bytes``/``_bps``) with
+  conversions through :mod:`repro.sim.units` only.
+* :mod:`repro.lint.event_safety` (EVT001-EVT003) — no re-entrant
+  ``Simulator.run()``, no negative constant delays, no discarded
+  :class:`~repro.sim.engine.EventHandle` where cancellation matters.
+
+Run it with ``python -m repro.lint src/repro`` (or ``python -m repro
+lint ...`` / the ``repro-lint`` console script), configure it under
+``[tool.simlint]`` in ``pyproject.toml``, and silence intentional
+deviations with ``# simlint: ignore[RULE]`` comments.  See
+``docs/LINTING.md`` for the full rule catalogue.
+"""
+
+from repro.lint.framework import (
+    Finding,
+    FileContext,
+    LintConfig,
+    LintConfigError,
+    LintRunner,
+    Rule,
+    all_rules,
+    find_pyproject,
+    load_config,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintConfig",
+    "LintConfigError",
+    "LintRunner",
+    "Rule",
+    "all_rules",
+    "find_pyproject",
+    "load_config",
+    "register",
+]

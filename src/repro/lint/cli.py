@@ -1,0 +1,147 @@
+"""Command-line interface for simlint.
+
+Usage::
+
+    python -m repro.lint [paths...] [--format text|json]
+    python -m repro lint [paths...]          # same, via the main CLI
+    repro-lint [paths...]                    # console-script entry point
+
+Exit codes: 0 — clean (suppressed findings do not count); 1 — at least
+one unsuppressed finding; 2 — configuration error (unknown rule id,
+malformed ``[tool.simlint]`` table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.framework import (
+    Finding,
+    LintConfig,
+    LintConfigError,
+    LintRunner,
+    all_rules,
+    find_pyproject,
+    load_config,
+)
+
+#: Version of the JSON report schema; bump when the shape changes and
+#: update docs/LINTING.md plus tests/test_lint_config.py.
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism / unit-safety / event-safety "
+                    "checks for the simulation universe.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format",
+                        help="report format (default: text)")
+    parser.add_argument("--select", action="append", default=[],
+                        metavar="RULES",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--config", metavar="PYPROJECT",
+                        help="pyproject.toml to read [tool.simlint] from "
+                             "(default: nearest to the first path)")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.simlint] configuration entirely")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also list suppressed findings in text output")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _split_ids(values: Sequence[str]) -> List[str]:
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        config = LintConfig()
+    else:
+        pyproject = args.config or find_pyproject(args.paths[0])
+        config = load_config(pyproject)
+    select = _split_ids(args.select)
+    disable = _split_ids(args.disable)
+    if select:
+        config = LintConfig(enable=tuple(select), disable=config.disable,
+                            exclude=config.exclude)
+    if disable:
+        config = LintConfig(enable=config.enable,
+                            disable=config.disable + tuple(disable),
+                            exclude=config.exclude)
+    config.validate()
+    return config
+
+
+def _render_text(findings: List[Finding], runner: LintRunner,
+                 show_suppressed: bool, out) -> None:
+    active = [f for f in findings if not f.suppressed]
+    shown = findings if show_suppressed else active
+    for finding in shown:
+        print(finding.render(), file=out)
+    suppressed = len(findings) - len(active)
+    print("%d file(s) scanned: %d finding(s), %d suppressed"
+          % (runner.files_scanned, len(active), suppressed), file=out)
+
+
+def _render_json(findings: List[Finding], runner: LintRunner, out) -> None:
+    active = [f for f in findings if not f.suppressed]
+    counts = {severity: 0 for severity in ("error", "warning")}
+    for finding in active:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    report = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": runner.files_scanned,
+        "counts": counts,
+        "suppressed": len(findings) - len(active),
+        "findings": [f.as_dict() for f in findings],
+    }
+    json.dump(report, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def _list_rules(out) -> None:
+    for rule_id, rule in sorted(all_rules().items()):
+        print("%s %-22s [%s] %s"
+              % (rule_id, rule.name, rule.severity, rule.description),
+              file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _list_rules(sys.stdout)
+        return 0
+    try:
+        config = _resolve_config(args)
+        runner = LintRunner(config)
+        findings = runner.run_paths(args.paths)
+    except LintConfigError as exc:
+        print("simlint: configuration error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        _render_json(findings, runner, sys.stdout)
+    else:
+        _render_text(findings, runner, args.show_suppressed, sys.stdout)
+    return 1 if any(not f.suppressed for f in findings) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

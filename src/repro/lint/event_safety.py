@@ -1,0 +1,234 @@
+"""Event-safety rule pack (EVT001-EVT003).
+
+:class:`repro.sim.engine.Simulator` has three sharp edges these rules
+guard: ``run()`` is not re-entrant (calling it from a scheduled callback
+raises at runtime — deep in a campaign, hours in), ``schedule()``
+rejects negative delays, and cancellation requires keeping the
+:class:`EventHandle` that ``schedule()`` returns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.framework import Rule, ancestors, register
+
+SCHEDULE_ATTRS = ("schedule", "call_at")
+
+#: Receiver names treated as "the simulator" for `.run()` detection.
+SIM_RECEIVERS = ("sim", "simulator", "engine")
+
+
+def _is_sim_receiver(node: ast.expr, sim_locals: Set[str]) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in SIM_RECEIVERS or node.id in sim_locals
+    if isinstance(node, ast.Attribute):
+        return node.attr in SIM_RECEIVERS
+    return False
+
+
+def _callback_name(node: ast.Call) -> Optional[str]:
+    """Bare name of the callback scheduled by a schedule()/call_at() call."""
+    callback: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        callback = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "callback":
+            callback = keyword.value
+    if isinstance(callback, ast.Name):
+        return callback.id
+    if isinstance(callback, ast.Attribute):
+        return callback.attr
+    return None
+
+
+def _schedule_call(node: ast.AST) -> Optional[ast.Call]:
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in SCHEDULE_ATTRS):
+        return node
+    return None
+
+
+@register
+class ReentrantRunRule(Rule):
+    id = "EVT001"
+    name = "reentrant-run"
+    severity = "error"
+    description = ("Simulator.run() reachable from a scheduled callback; "
+                   "the engine is not re-entrant and raises "
+                   "SimulationError at runtime.")
+
+    def begin_file(self) -> None:
+        self._scheduled: Set[str] = set()
+        self._lambda_runs: List[ast.Call] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        call = _schedule_call(node)
+        if call is None:
+            return
+        name = _callback_name(call)
+        if name:
+            self._scheduled.add(name)
+        # A lambda callback can be checked right here.
+        callback = call.args[1] if len(call.args) >= 2 else None
+        if isinstance(callback, ast.Lambda):
+            for child in ast.walk(callback):
+                run = self._run_call(child, set())
+                if run is not None:
+                    self.report(run, "scheduled lambda calls Simulator.run()"
+                                     "; the engine is not re-entrant")
+
+    def end_file(self) -> None:
+        functions = self._collect_functions()
+        # Transitive closure: which function names are reachable from a
+        # scheduled callback through same-file calls?
+        reachable = set(self._scheduled)
+        frontier = list(reachable)
+        while frontier:
+            name = frontier.pop()
+            for callee in functions.get(name, (set(), []))[0]:
+                if callee not in reachable:
+                    reachable.add(callee)
+                    frontier.append(callee)
+        for name in sorted(reachable):
+            _, run_calls = functions.get(name, (set(), []))
+            for run in run_calls:
+                self.report(run, "Simulator.run() is reachable from "
+                                 "scheduled callback %r; the engine is not "
+                                 "re-entrant — restructure as scheduled "
+                                 "events" % name)
+
+    def _collect_functions(self
+                           ) -> Dict[str, Tuple[Set[str], List[ast.Call]]]:
+        """Map function name -> (called names, sim .run() call nodes)."""
+        functions: Dict[str, Tuple[Set[str], List[ast.Call]]] = {}
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            sim_locals = {
+                target.id
+                for stmt in ast.walk(node)
+                if isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Call)
+                and (self.ctx.qualname(stmt.value.func) or ""
+                     ).endswith("Simulator")
+                for target in stmt.targets if isinstance(target, ast.Name)}
+            calls: Set[str] = set()
+            runs: List[ast.Call] = []
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                run = self._run_call(child, sim_locals)
+                if run is not None:
+                    runs.append(run)
+                elif isinstance(child.func, ast.Name):
+                    calls.add(child.func.id)
+                elif isinstance(child.func, ast.Attribute):
+                    calls.add(child.func.attr)
+            functions[node.name] = (calls, runs)
+        return functions
+
+    @staticmethod
+    def _run_call(node: ast.AST, sim_locals: Set[str]
+                  ) -> Optional[ast.Call]:
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("run", "run_until_idle")
+                and _is_sim_receiver(node.func.value, sim_locals)):
+            return node
+        return None
+
+
+@register
+class NegativeDelayRule(Rule):
+    id = "EVT002"
+    name = "negative-delay"
+    severity = "error"
+    description = ("A constant negative delay is passed to "
+                   "Simulator.schedule(); the engine raises "
+                   "SchedulingError for delays in the past.")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        call = _schedule_call(node)
+        if call is None or call.func.attr != "schedule":  # type: ignore
+            return
+        delay: Optional[ast.expr] = call.args[0] if call.args else None
+        for keyword in call.keywords:
+            if keyword.arg == "delay":
+                delay = keyword.value
+        value = _constant_value(delay)
+        if value is not None and value < 0:
+            self.report(delay or call,
+                        "schedule() is given the constant negative delay "
+                        "%r; the engine refuses to schedule in the past — "
+                        "use 0.0 for \"now\"" % value)
+
+
+@register
+class DroppedHandleRule(Rule):
+    id = "EVT003"
+    name = "dropped-handle"
+    severity = "warning"
+    description = ("schedule()/call_at() result discarded in a scope that "
+                   "cancels timers elsewhere; without the EventHandle the "
+                   "event can never be cancelled.")
+
+    def begin_file(self) -> None:
+        self._dropped: List[Tuple[ast.Call, Optional[ast.ClassDef]]] = []
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = _schedule_call(node.value)
+        if call is None:
+            return
+        enclosing = None
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                enclosing = ancestor
+                break
+        self._dropped.append((call, enclosing))
+
+    def end_file(self) -> None:
+        if not self._dropped:
+            return
+        cancelling_classes, module_cancels = self._cancel_sites()
+        for call, enclosing in self._dropped:
+            cancels_nearby = (enclosing in cancelling_classes
+                              if enclosing is not None else module_cancels)
+            if cancels_nearby:
+                self.report(call, "EventHandle from %s() is discarded, but "
+                                  "this %s cancels timers elsewhere; keep "
+                                  "the handle if this event may ever need "
+                                  "cancelling"
+                            % (call.func.attr,  # type: ignore[union-attr]
+                               "class" if enclosing is not None
+                               else "module"))
+
+    def _cancel_sites(self) -> Tuple[Set[ast.ClassDef], bool]:
+        classes: Set[ast.ClassDef] = set()
+        module_level = False
+        for node in ast.walk(self.ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "cancel"):
+                owner = None
+                for ancestor in ancestors(node):
+                    if isinstance(ancestor, ast.ClassDef):
+                        owner = ancestor
+                        break
+                if owner is not None:
+                    classes.add(owner)
+                else:
+                    module_level = True
+        return classes, module_level
+
+
+def _constant_value(node: Optional[ast.expr]) -> Optional[float]:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _constant_value(node.operand)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                     (int, float)):
+        return float(node.value)
+    return None

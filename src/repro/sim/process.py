@@ -125,7 +125,9 @@ class Process:
         if isinstance(yielded, Sleep):
             if yielded.delay < 0:
                 raise ValueError("Sleep delay must be >= 0")
-            self.sim.schedule(yielded.delay, self._resume, None)
+            # A sleeping process cannot be cancelled, only resumed.
+            self.sim.schedule(yielded.delay, self._resume,
+                              None)  # simlint: ignore[EVT003]
         elif isinstance(yielded, WaitEvent):
             yielded.signal._register(self)
             if yielded.timeout is not None:

@@ -63,9 +63,16 @@ class RandomStreams:
         return self.get(name).lognormvariate(mu, sigma)
 
     def bernoulli(self, name: str, probability: float) -> bool:
-        """Return True with the given probability."""
+        """Return True with the given probability.
+
+        The 0.0 and 1.0 cases short-circuit without consuming a draw, so
+        adding an impossible *or* certain event to a scenario never
+        perturbs the sequences seen by sibling streams.
+        """
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0,1], got %r" % probability)
         if probability == 0.0:
             return False
+        if probability == 1.0:
+            return True
         return self.get(name).random() < probability

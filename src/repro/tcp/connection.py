@@ -436,7 +436,9 @@ class Connection:
     def _schedule_forget(self) -> None:
         """Approximate TIME_WAIT: linger 2 RTO then release the flow."""
         self._cancel_timers()
-        self.sim.schedule(2 * self._rto, self._finish_time_wait)
+        # TIME_WAIT expiry is unconditional; the handle is never cancelled.
+        self.sim.schedule(2 * self._rto,
+                          self._finish_time_wait)  # simlint: ignore[EVT003]
 
     def _finish_time_wait(self) -> None:
         if self.state == State.TIME_WAIT:

@@ -1,0 +1,35 @@
+"""Fixture: every event-safety rule fires here (see test_lint_rules)."""
+
+from repro.sim.engine import Simulator
+
+
+def drain(sim):
+    sim.run()  # expect: EVT001
+
+
+def tick(sim):
+    drain(sim)
+
+
+def start(sim: Simulator):
+    sim.schedule(1.0, tick, sim)
+
+
+def rewind(sim):
+    sim.schedule(-0.5, print)  # expect: EVT002
+
+
+class Watchdog:
+    def __init__(self, sim):
+        self.sim = sim
+        self.handle = None
+
+    def arm(self):
+        self.sim.schedule(5.0, self.fire)  # expect: EVT003
+
+    def disarm(self):
+        if self.handle is not None:
+            self.handle.cancel()
+
+    def fire(self):
+        self.handle = None

@@ -1,0 +1,13 @@
+"""Fixture: a file-level pragma silences DET001 for the whole module."""
+
+# simlint: ignore-file[DET001]
+
+import time
+
+
+def first():
+    return time.time()
+
+
+def second():
+    return time.time()

@@ -1,0 +1,29 @@
+"""Fixture: the same violations as the *_bad modules, each suppressed.
+
+Running simlint over this file must yield zero unsuppressed findings.
+"""
+
+import random
+import time
+
+
+def timestamp():
+    return time.time()  # simlint: ignore[DET001]
+
+
+def jitter():
+    return random.random()  # simlint: ignore
+
+
+def total_latency(rtt_ms, proc_delay_s):
+    return rtt_ms + proc_delay_s  # simlint: ignore[UNIT002]
+
+
+def rewind(sim):
+    sim.schedule(-1.0, print)  # simlint: ignore[EVT002]
+
+
+def send_after(sim, gap_ms):
+    # A multi-line statement may carry the ignore on any of its lines.
+    sim.schedule(
+        gap_ms, print)  # simlint: ignore[UNIT001]

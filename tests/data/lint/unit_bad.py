@@ -1,0 +1,41 @@
+"""Fixture: every unit-safety rule fires here (see test_lint_rules)."""
+
+from repro.sim import units
+
+
+def total_latency(rtt_ms, proc_delay_s):
+    return rtt_ms + proc_delay_s  # expect: UNIT002
+
+
+def breaches_budget(tfetch_ms, budget_s):
+    return tfetch_ms > budget_s  # expect: UNIT002
+
+
+def distance_minus_time(path_miles, rtt_ms):
+    return path_miles - rtt_ms  # expect: UNIT002
+
+
+def mislabel(span_ms):
+    span_s = span_ms  # expect: UNIT003
+    return span_s
+
+
+def bad_conversion(delay_ms):
+    delay_out_ms = units.ms(delay_ms)  # expect: UNIT004
+    return delay_out_ms
+
+
+def send_after(sim, gap_ms):
+    sim.schedule(gap_ms, print)  # expect: UNIT001
+
+
+def configure(connect_timeout_s=None):
+    return connect_timeout_s
+
+
+def setup(handshake_ms):
+    return configure(connect_timeout_s=handshake_ms)  # expect: UNIT001
+
+
+def local_positional(size_bytes, window_ms):
+    return units.transmission_delay(window_ms, size_bytes)  # expect: UNIT001, UNIT001

@@ -1,5 +1,10 @@
 """Unit tests for the discrete-event engine."""
 
+# This module deliberately exercises the engine's sharp edges (negative
+# delays, re-entrant run(), cancellation), which is exactly what the
+# event-safety lints exist to flag elsewhere.
+# simlint: ignore-file[EVT001, EVT002, EVT003]
+
 import pytest
 
 from repro.sim.engine import SchedulingError, SimulationError, Simulator
