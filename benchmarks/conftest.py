@@ -10,7 +10,10 @@ Run with::
 
 Scale can be raised toward the paper's sample sizes via the
 ``REPRO_BENCH_SCALE`` environment variable (``tiny`` | ``small`` |
-``paper``).
+``paper``), and campaign benchmarks that support sharding split their
+simulation across ``REPRO_BENCH_SHARDS`` worker processes (default 1,
+i.e. serial; results are identical either way — see
+``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -38,3 +41,12 @@ def bench_scale() -> ExperimentScale:
         raise RuntimeError("REPRO_BENCH_SCALE must be one of %s"
                            % sorted(_SCALES)) from None
     return factory(seed=1)
+
+
+@pytest.fixture(scope="session")
+def bench_shards() -> int:
+    """Campaign shard count (env-selectable, default serial)."""
+    shards = int(os.environ.get("REPRO_BENCH_SHARDS", "1"))
+    if shards < 1:
+        raise RuntimeError("REPRO_BENCH_SHARDS must be >= 1")
+    return shards

@@ -1,0 +1,109 @@
+"""Record the microperf benchmark medians into ``BENCH_microperf.json``.
+
+Runs the three engine/TCP micro-benchmarks through pytest-benchmark,
+extracts the median wall-clock per benchmark, and *appends* a labelled
+entry to the repo-root ``BENCH_microperf.json`` trajectory file.  Each
+PR that touches the hot path should append one entry so the file reads
+as a performance history; see ``docs/PERFORMANCE.md`` for how to
+interpret it.
+
+Usage (from the repo root)::
+
+    python benchmarks/run_microperf.py --label "my change"
+    python benchmarks/run_microperf.py --check 2.0   # vs previous entry
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_microperf.json")
+BENCH_FILE = os.path.join("benchmarks", "test_bench_microperf.py")
+
+
+def run_benchmarks() -> dict:
+    """Run the microperf file; return {benchmark_name: median_ms}."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = os.path.join(tmp, "bench.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(REPO_ROOT, "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        subprocess.run(
+            [sys.executable, "-m", "pytest", BENCH_FILE,
+             "--benchmark-only", "-q",
+             "--benchmark-json=%s" % json_path],
+            cwd=REPO_ROOT, env=env, check=True)
+        with open(json_path) as handle:
+            report = json.load(handle)
+    return {bench["name"]: bench["stats"]["median"] * 1000.0
+            for bench in report["benchmarks"]}
+
+
+def load_trajectory() -> dict:
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as handle:
+            return json.load(handle)
+    return {"benchmark": BENCH_FILE,
+            "unit": "milliseconds (median wall-clock)",
+            "runs": []}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="unlabeled",
+                        help="name for this entry in the trajectory")
+    parser.add_argument("--check", type=float, metavar="RATIO",
+                        help="exit non-zero unless every benchmark is at "
+                             "least RATIO x faster than the previous "
+                             "trajectory entry")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print medians without updating the file")
+    args = parser.parse_args(argv)
+
+    medians = run_benchmarks()
+    trajectory = load_trajectory()
+    previous = trajectory["runs"][-1] if trajectory["runs"] else None
+
+    print()
+    print("%-42s %12s" % ("benchmark", "median"))
+    for name in sorted(medians):
+        line = "%-42s %10.4fms" % (name, medians[name])
+        if previous and name in previous["medians"]:
+            line += "   (%5.2fx vs %s)" % (
+                previous["medians"][name] / medians[name],
+                previous["label"])
+        print(line)
+
+    if args.check is not None:
+        if previous is None:
+            print("--check: no previous entry to compare against")
+            return 2
+        failures = [
+            name for name, median in medians.items()
+            if name in previous["medians"]
+            and previous["medians"][name] / median < args.check]
+        if failures:
+            print("--check %.2f FAILED for: %s"
+                  % (args.check, ", ".join(sorted(failures))))
+            return 1
+        print("--check %.2f passed" % args.check)
+
+    if not args.dry_run:
+        trajectory["runs"].append({"label": args.label,
+                                   "medians": medians})
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("appended %r to %s" % (args.label, BASELINE_PATH))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

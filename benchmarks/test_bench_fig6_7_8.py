@@ -19,8 +19,8 @@ from repro.testbed.scenario import Scenario
 
 
 @pytest.fixture(scope="module")
-def campaign(bench_scale):
-    return run_dataset_a_experiment(bench_scale)
+def campaign(bench_scale, bench_shards):
+    return run_dataset_a_experiment(bench_scale, shards=bench_shards)
 
 
 def test_bench_fig6(benchmark, campaign):

@@ -8,12 +8,15 @@ Usage::
     python -m repro                     # all experiments, tiny scale
     python -m repro --scale small       # larger campaign
     python -m repro fig5 fig9           # a subset
+    python -m repro --jobs 4            # experiments in parallel
+    python -m repro fig678 --shards 4   # shard the Dataset-A campaign
     python -m repro lint src/repro      # static analysis (simlint)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -101,6 +104,15 @@ def _render_load(scale):
     return render_load_sensitivity(run_load_sensitivity(scale))
 
 
+def _experiment_worker(task):
+    """Run one experiment (pool worker; must stay module-level)."""
+    name, scale = task
+    # Wall-clock here times the CLI itself, not the simulation.
+    start = time.time()  # simlint: ignore[DET001]
+    text = EXPERIMENTS[name](scale)
+    return name, text, time.time() - start  # simlint: ignore[DET001]
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -118,6 +130,14 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="tiny",
                         choices=("tiny", "small", "paper"))
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run the selected experiments in up to N "
+                             "worker processes (default: 1, inline)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard campaign simulations across N "
+                             "processes where supported (Dataset A; "
+                             "same results as serial, see "
+                             "docs/PERFORMANCE.md)")
     args = parser.parse_args(argv)
 
     unknown = [name for name in args.experiments
@@ -125,15 +145,27 @@ def main(argv=None) -> int:
     if unknown:
         parser.error("unknown experiment(s) %s; choose from %s"
                      % (", ".join(unknown), ", ".join(EXPERIMENTS)))
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
+        # Plumbed via the environment so every runner (and the worker
+        # processes of --jobs) sees it without new signatures.
+        os.environ["REPRO_CAMPAIGN_SHARDS"] = str(args.shards)
     scale = getattr(ExperimentScale, args.scale)(seed=args.seed)
     names = args.experiments or list(EXPERIMENTS)
-    for name in names:
-        # Wall-clock here times the CLI itself, not the simulation.
-        start = time.time()  # simlint: ignore[DET001]
+
+    tasks = [(name, scale) for name in names]
+    if args.jobs > 1:
+        from repro.parallel import map_shards
+        results = map_shards(_experiment_worker, tasks,
+                             processes=args.jobs)
+    else:
+        # Inline keeps output streaming as each experiment finishes.
+        results = map(_experiment_worker, tasks)
+    for name, text, elapsed in results:
         print("=" * 72)
-        print(EXPERIMENTS[name](scale))
-        print("[%s completed in %.1fs]"
-              % (name, time.time() - start))  # simlint: ignore[DET001]
+        print(text)
+        print("[%s completed in %.1fs]" % (name, elapsed))
         print()
     return 0
 

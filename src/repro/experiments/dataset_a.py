@@ -13,6 +13,7 @@ Runners for the individual figures are thin views over
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -76,14 +77,41 @@ class DatasetAExperiment:
         return compare_services(self.metrics)
 
 
-def run_dataset_a_experiment(scale: Optional[ExperimentScale] = None
-                             ) -> DatasetAExperiment:
-    """Run the campaign once and wrap it for the three figures."""
+def run_dataset_a_experiment(scale: Optional[ExperimentScale] = None, *,
+                             shards: Optional[int] = None,
+                             processes: int = 0) -> DatasetAExperiment:
+    """Run the campaign once and wrap it for the three figures.
+
+    ``shards`` > 1 runs the campaign through
+    :func:`repro.parallel.run_dataset_a_sharded`; ``None`` reads the
+    ``REPRO_CAMPAIGN_SHARDS`` environment variable (default 1), which
+    is how ``python -m repro --shards N`` and the benchmark harness
+    plumb the setting through without touching every runner signature.
+
+    Sharding requires per-query keyed service draws
+    (``ScenarioConfig(keyed_service_draws=True)``), so the sharded run
+    is a *different realization* of the same distributions than the
+    serial default — statistically identical, not bit-identical.  What
+    IS bit-identical is sharded-vs-serial within the keyed mode: the
+    same keyed scenario run with any shard/process count produces the
+    same sessions (see ``docs/PERFORMANCE.md``).  Calibration always
+    runs in-process: its content analysis is deterministic for a fixed
+    config, so the boundary table is the same either way.
+    """
     scale = scale or ExperimentScale.small()
-    scenario = build_scenario(scale)
+    if shards is None:
+        shards = int(os.environ.get("REPRO_CAMPAIGN_SHARDS", "1"))
     keywords = KeywordCatalog(seed=scale.seed).figure3_set()
-    dataset = run_dataset_a(scenario, keywords, repeats=scale.repeats,
-                            interval=scale.interval)
+    if shards > 1:
+        from repro.parallel import run_dataset_a_sharded
+        scenario = build_scenario(scale, keyed_service_draws=True)
+        dataset = run_dataset_a_sharded(
+            scenario, keywords, repeats=scale.repeats,
+            interval=scale.interval, shards=shards, processes=processes)
+    else:
+        scenario = build_scenario(scale)
+        dataset = run_dataset_a(scenario, keywords, repeats=scale.repeats,
+                                interval=scale.interval)
 
     metrics: Dict[str, List[QueryMetrics]] = {}
     default_rtts: Dict[str, List[float]] = {}

@@ -16,7 +16,6 @@ needs only sequence numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.net.node import Node
@@ -25,25 +24,40 @@ from repro.sim.engine import Simulator
 from repro.tcp.segment import Segment
 
 
-@dataclass(frozen=True)
 class PacketEvent:
-    """One captured packet, as tcpdump would log it."""
+    """One captured packet, as tcpdump would log it.
 
-    time: float
-    direction: str          # "out" or "in"
-    src: str
-    dst: str
-    sport: int
-    dport: int
-    wire_size: int
-    payload_len: int
-    seq: int
-    ack: int
-    syn: bool
-    fin: bool
-    ack_flag: bool
-    retransmit: bool
-    payload: Optional[bytes] = None
+    A manual ``__slots__`` class (not a dataclass): one instance is
+    appended per packet per tapped host, which makes its constructor a
+    measurement-campaign hot path.
+    """
+
+    __slots__ = ("time", "direction", "src", "dst", "sport", "dport",
+                 "wire_size", "payload_len", "seq", "ack", "syn", "fin",
+                 "ack_flag", "retransmit", "payload")
+
+    def __init__(self, time: float, direction: str, src: str, dst: str,
+                 sport: int, dport: int, wire_size: int, payload_len: int,
+                 seq: int, ack: int, syn: bool, fin: bool, ack_flag: bool,
+                 retransmit: bool, payload: Optional[bytes] = None):
+        self.time = time
+        self.direction = direction  # "out" or "in"
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.wire_size = wire_size
+        self.payload_len = payload_len
+        self.seq = seq
+        self.ack = ack
+        self.syn = syn
+        self.fin = fin
+        self.ack_flag = ack_flag
+        self.retransmit = retransmit
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PacketEvent %s>" % self.describe()
 
     @property
     def is_pure_ack(self) -> bool:
@@ -100,6 +114,11 @@ class PacketCapture:
         if not isinstance(segment, Segment):
             return
         direction = "out" if event == "send" else "in"
+        # The capture is the materialization boundary for zero-copy
+        # segment payloads: bytes are synthesized from the wire's lazy
+        # views here and only here.  With store_payload=False (the
+        # default for measurement campaigns) payload travels the whole
+        # simulated path length-only.
         self.events.append(PacketEvent(
             time=self.sim.now,
             direction=direction,
@@ -111,7 +130,7 @@ class PacketCapture:
             syn=segment.syn, fin=segment.fin,
             ack_flag=segment.ack_flag,
             retransmit=segment.retransmit,
-            payload=segment.data if self.store_payload else None))
+            payload=bytes(segment.data) if self.store_payload else None))
 
     # ------------------------------------------------------------------
     def flow_events(self, local_port: int,

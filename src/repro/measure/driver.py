@@ -8,6 +8,12 @@
 Both drivers stagger vantage-point start times so queries don't
 synchronise, run the simulation to completion, and return dataset objects
 holding completed :class:`~repro.measure.session.QuerySession` lists.
+
+A vantage point's stagger offset is derived from its index in the
+scenario's *full* fleet, not its position in the subset handed to the
+driver: a sharded campaign (see :mod:`repro.parallel`) that runs each VP
+subset in its own process must give every query the exact start time it
+would have had in the serial run.
 """
 
 from __future__ import annotations
@@ -74,8 +80,9 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
     vps = list(vantage_points or scenario.vantage_points)
     dataset = DatasetA()
     emulators = []
+    staggers = _fleet_staggers(scenario, vps, interval)
 
-    for index, vp in enumerate(vps):
+    for vp in vps:
         emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
         emulators.append(emulator)
         frontends = {}
@@ -84,15 +91,36 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
             frontends[service_name] = frontend
             dataset.default_fe[(vp.name, service_name)] = \
                 (frontend.node.name, rtt)
-        stagger = (index / max(1, len(vps))) * interval
         spawn(scenario.sim,
               _vp_loop(scenario, emulator, frontends, keywords,
-                       repeats, interval, stagger))
+                       repeats, interval, staggers[vp.name]))
 
     scenario.sim.run(until=run_timeout)
     for emulator in emulators:
         dataset.sessions.extend(emulator.sessions)
     return dataset
+
+
+def _fleet_staggers(scenario: Scenario, vps: Sequence[VantagePoint],
+                    interval: float) -> Dict[str, float]:
+    """Per-VP start offsets, positioned by index in the *full* fleet.
+
+    Vantage points not in the scenario fleet (possible only with
+    hand-built VP lists) are appended after it, preserving the old
+    subset-relative behaviour for them.
+    """
+    fleet_index = {vp.name: index
+                   for index, vp in enumerate(scenario.vantage_points)}
+    fleet_size = max(1, len(scenario.vantage_points))
+    staggers = {}
+    extra = len(fleet_index)
+    for vp in vps:
+        index = fleet_index.get(vp.name)
+        if index is None:
+            index = extra
+            extra += 1
+        staggers[vp.name] = (index / fleet_size) * interval
+    return staggers
 
 
 def _vp_loop(scenario: Scenario, emulator: QueryEmulator,
@@ -122,14 +150,14 @@ def run_dataset_b(scenario: Scenario, service_name: str,
     dataset = DatasetB(service=service_name, fe_name=frontend.node.name)
     emulators = []
 
-    for index, vp in enumerate(vps):
+    staggers = _fleet_staggers(scenario, vps, interval)
+    for vp in vps:
         scenario.link_client_to_frontend(vp, frontend, service)
         emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
         emulators.append(emulator)
-        stagger = (index / max(1, len(vps))) * interval
         spawn(scenario.sim,
               _fixed_fe_loop(emulator, service_name, frontend, keyword,
-                             repeats, interval, stagger))
+                             repeats, interval, staggers[vp.name]))
 
     scenario.sim.run(until=run_timeout)
     for emulator in emulators:

@@ -134,27 +134,39 @@ class Link:
         flight), False if it was tail-dropped at the queue.
         """
         offer_index = self._offer_index
-        self._offer_index += 1
-        self.stats.packets_offered += 1
+        self._offer_index = offer_index + 1
+        stats = self.stats
+        stats.packets_offered += 1
 
-        if self.backlog_bytes + packet.size_bytes > self.queue_limit_bytes:
-            self.stats.packets_dropped_queue += 1
+        # Inline backlog_bytes / transmission_delay: send() runs once
+        # per packet per hop, and the property + method calls showed up
+        # in campaign profiles.  The clock is read through the engine's
+        # storage attribute for the same reason (``now`` is a property).
+        sim = self.sim
+        now = sim._now
+        busy = self._busy_until
+        size = packet.size_bytes
+        bandwidth = self.bandwidth
+        backlog = busy - now
+        backlog = backlog * bandwidth if backlog > 0.0 else 0.0
+        if backlog + size > self.queue_limit_bytes:
+            stats.packets_dropped_queue += 1
             return False
 
-        start = max(self.sim.now, self._busy_until)
-        tx_done = start + self.transmission_delay(packet)
+        start = busy if busy > now else now
+        tx_done = start + size / bandwidth
         self._busy_until = tx_done
 
         if self.fault_filter is not None and \
                 self.fault_filter(packet, offer_index):
-            self.stats.packets_lost += 1
+            stats.packets_lost += 1
             return True
 
         if self.loss_rate and self.streams.bernoulli(
                 "loss/" + self.name, self.loss_rate):
             # The packet still occupied the wire (busy_until already
             # advanced) but never arrives.
-            self.stats.packets_lost += 1
+            stats.packets_lost += 1
             return True
 
         arrival = tx_done + self.delay
@@ -162,14 +174,16 @@ class Link:
             arrival += self.streams.uniform("jitter/" + self.name,
                                             0.0, self.jitter)
         # Clamp to preserve FIFO delivery despite jitter.
-        arrival = max(arrival, self._last_delivery_time)
+        if arrival < self._last_delivery_time:
+            arrival = self._last_delivery_time
         self._last_delivery_time = arrival
-        self.sim.call_at(arrival, self._arrive, packet)
+        sim.call_at(arrival, self._arrive, packet)
         return True
 
     def _arrive(self, packet: Packet) -> None:
-        self.stats.packets_delivered += 1
-        self.stats.bytes_delivered += packet.size_bytes
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += packet.size_bytes
         self.deliver(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -87,16 +87,21 @@ class Node:
 
         Returns True if a first hop accepted the packet.
         """
-        packet.record_hop(self.name)
+        # Origination is the first hop, so the loop/budget check done by
+        # record_hop cannot trip here; a bare append keeps the
+        # per-segment send path one call shorter.
+        packet.hops.append(self.name)
         self.stats.sent += 1
-        self._notify("send", packet)
+        if self.taps:
+            self._notify("send", packet)
         return self._route(packet)
 
     def deliver(self, packet: Packet) -> None:
         """Entry point for packets arriving on an incoming link."""
         if packet.dst == self.name:
             self.stats.received += 1
-            self._notify("recv", packet)
+            if self.taps:
+                self._notify("recv", packet)
             handler = self.protocol_handlers.get(packet.protocol)
             if handler is None:
                 self.stats.dropped_no_handler += 1
@@ -106,7 +111,8 @@ class Node:
         else:
             packet.record_hop(self.name)
             self.stats.forwarded += 1
-            self._notify("forward", packet)
+            if self.taps:
+                self._notify("forward", packet)
             self._route(packet)
 
     def _route(self, packet: Packet) -> bool:

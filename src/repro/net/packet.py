@@ -4,13 +4,16 @@ A :class:`Packet` is what travels on links.  Its ``payload`` is an opaque
 transport PDU (in practice a :class:`repro.tcp.segment.Segment`), and
 ``size_bytes`` is the full on-wire size including all header overhead, so
 link serialization delays are computed from it directly.
+
+``Packet`` is a hand-rolled ``__slots__`` class rather than a dataclass:
+one instance is created per segment per hop-free flight, which puts its
+constructor on the simulation's hottest path.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, List
+from typing import Any, List, Optional
 
 #: Bytes of IP + link-layer framing charged to every packet on the wire.
 NETWORK_HEADER_BYTES = 40
@@ -18,7 +21,6 @@ NETWORK_HEADER_BYTES = 40
 _uid_counter = itertools.count(1)
 
 
-@dataclass
 class Packet:
     """A packet in flight.
 
@@ -40,19 +42,23 @@ class Packet:
         Useful in tests and for TTL enforcement.
     """
 
-    src: str
-    dst: str
-    protocol: str
-    size_bytes: int
-    payload: Any = None
-    uid: int = field(default_factory=lambda: next(_uid_counter))
-    hops: List[str] = field(default_factory=list)
+    __slots__ = ("src", "dst", "protocol", "size_bytes", "payload",
+                 "uid", "hops")
 
     MAX_HOPS = 64
 
-    def __post_init__(self):
-        if self.size_bytes < 0:
-            raise ValueError("packet size must be >= 0, got %r" % self.size_bytes)
+    def __init__(self, src: str, dst: str, protocol: str, size_bytes: int,
+                 payload: Any = None, uid: Optional[int] = None,
+                 hops: Optional[List[str]] = None):
+        if size_bytes < 0:
+            raise ValueError("packet size must be >= 0, got %r" % size_bytes)
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.uid = next(_uid_counter) if uid is None else uid
+        self.hops = [] if hops is None else hops
 
     def record_hop(self, host: str) -> None:
         """Append a forwarding hop; raises if the hop budget is exceeded."""

@@ -1,0 +1,221 @@
+"""Sharded versions of the two measurement campaigns.
+
+Each shard process rebuilds the *full* scenario from its
+:class:`~repro.testbed.scenario.ScenarioConfig` (construction is
+deterministic, so every shard sees the identical universe: same VP
+placement, same deployments, same content) and then runs the campaign
+for only its slice of vantage points.  Start times come from each VP's
+index in the full fleet (see :func:`repro.measure.driver._fleet_staggers`)
+and the load/processing RNG draws are keyed per query
+(``ScenarioConfig(keyed_service_draws=True)``, which this module
+requires), so a query executes identically no matter which process
+hosts it.
+
+The merge is order-independent: sessions are regrouped by the fleet
+order of their vantage points, reproducing exactly the session list the
+serial driver builds.
+
+Only config-built scenarios can be sharded — the worker has nothing but
+the config to rebuild from, so scenarios constructed with custom
+service profiles are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.content.keywords import Keyword
+from repro.measure.driver import (
+    DatasetA,
+    DatasetB,
+    run_dataset_a,
+    run_dataset_b,
+)
+from repro.measure.session import QuerySession
+from repro.parallel.partition import (
+    fe_sharing_components,
+    partition_components,
+    partition_round_robin,
+)
+from repro.parallel.pool import map_shards
+from repro.testbed.scenario import Scenario, ScenarioConfig
+
+
+@dataclass(frozen=True)
+class _DatasetAShard:
+    """Picklable work order for one Dataset-A shard."""
+
+    config: ScenarioConfig
+    keywords: Tuple[Keyword, ...]
+    vp_names: Tuple[str, ...]
+    repeats: int
+    interval: float
+    services: Optional[Tuple[str, ...]]
+    store_payload: bool
+    run_timeout: Optional[float]
+
+
+@dataclass(frozen=True)
+class _DatasetBShard:
+    """Picklable work order for one Dataset-B shard."""
+
+    config: ScenarioConfig
+    service_name: str
+    frontend_name: str
+    keyword: Keyword
+    vp_names: Tuple[str, ...]
+    repeats: int
+    interval: float
+    store_payload: bool
+    run_timeout: Optional[float]
+
+
+def _select_vps(scenario: Scenario, names: Sequence[str]):
+    by_name = {vp.name: vp for vp in scenario.vantage_points}
+    return [by_name[name] for name in names]
+
+
+def _run_dataset_a_shard(shard: _DatasetAShard) -> DatasetA:
+    scenario = Scenario(shard.config)
+    return run_dataset_a(
+        scenario, list(shard.keywords),
+        repeats=shard.repeats, interval=shard.interval,
+        services=list(shard.services) if shard.services else None,
+        vantage_points=_select_vps(scenario, shard.vp_names),
+        store_payload=shard.store_payload,
+        run_timeout=shard.run_timeout)
+
+
+def _run_dataset_b_shard(shard: _DatasetBShard) -> DatasetB:
+    scenario = Scenario(shard.config)
+    service = scenario.service(shard.service_name)
+    frontend = service.frontend_by_name(shard.frontend_name)
+    return run_dataset_b(
+        scenario, shard.service_name, frontend, shard.keyword,
+        repeats=shard.repeats, interval=shard.interval,
+        vantage_points=_select_vps(scenario, shard.vp_names),
+        store_payload=shard.store_payload,
+        run_timeout=shard.run_timeout)
+
+
+def _check_default_profiles(scenario: Scenario) -> None:
+    from repro.services.deployment import (
+        bing_akamai_profile,
+        google_like_profile,
+    )
+    defaults = {p.name: p for p in (google_like_profile(),
+                                    bing_akamai_profile())}
+    for name, deployment in scenario.services.items():
+        if defaults.get(name) != deployment.profile:
+            raise ValueError(
+                "sharding requires a config-built scenario; service %r "
+                "uses a custom profile the worker processes cannot "
+                "rebuild" % name)
+
+
+def _check_shardable(scenario: Scenario) -> None:
+    _check_default_profiles(scenario)
+    if not scenario.config.keyed_service_draws:
+        raise ValueError(
+            "sharded campaigns require a scenario built with "
+            "ScenarioConfig(keyed_service_draws=True): with the default "
+            "shared sequential RNG streams, a shard's service-delay "
+            "draws would depend on queries running in other shards")
+
+
+def _sessions_in_fleet_order(scenario: Scenario,
+                             results: Sequence[object]
+                             ) -> List[QuerySession]:
+    by_vp: Dict[str, List[QuerySession]] = {}
+    for result in results:
+        for session in result.sessions:
+            by_vp.setdefault(session.vp_name, []).append(session)
+    merged: List[QuerySession] = []
+    for vp in scenario.vantage_points:
+        merged.extend(by_vp.get(vp.name, []))
+    return merged
+
+
+def run_dataset_a_sharded(scenario: Scenario,
+                          keywords: Sequence[Keyword], *,
+                          repeats: int = 10,
+                          interval: float = 10.0,
+                          services: Optional[Sequence[str]] = None,
+                          shards: int = 2,
+                          processes: int = 0,
+                          store_payload: bool = False,
+                          run_timeout: Optional[float] = None) -> DatasetA:
+    """Sharded :func:`~repro.measure.driver.run_dataset_a`.
+
+    ``scenario`` is used only to partition the fleet and to carry the
+    config; it is *not* run (workers rebuild their own copy).  The
+    partition keeps FE-sharing vantage points together, which makes the
+    merged dataset bit-identical to the serial run for the same seed.
+    """
+    _check_shardable(scenario)
+    service_names = tuple(services or scenario.services)
+    components = fe_sharing_components(scenario, service_names)
+    partition = partition_components(components, shards)
+    shard_specs = [
+        _DatasetAShard(config=scenario.config,
+                       keywords=tuple(keywords),
+                       vp_names=tuple(vp.name for vp in part),
+                       repeats=repeats, interval=interval,
+                       services=service_names,
+                       store_payload=store_payload,
+                       run_timeout=run_timeout)
+        for part in partition]
+    results = map_shards(_run_dataset_a_shard, shard_specs, processes)
+
+    merged = DatasetA()
+    merged.sessions = _sessions_in_fleet_order(scenario, results)
+    default_fe: Dict[Tuple[str, str], Tuple[str, float]] = {}
+    for result in results:
+        default_fe.update(result.default_fe)
+    # Re-insert in the serial driver's (vp, service) iteration order so
+    # even dict ordering matches the serial run.
+    for vp in scenario.vantage_points:
+        for service_name in service_names:
+            key = (vp.name, service_name)
+            if key in default_fe:
+                merged.default_fe[key] = default_fe[key]
+    return merged
+
+
+def run_dataset_b_sharded(scenario: Scenario, service_name: str,
+                          frontend_name: str, keyword: Keyword, *,
+                          repeats: int = 10,
+                          interval: float = 10.0,
+                          shards: int = 2,
+                          processes: int = 0,
+                          store_payload: bool = False,
+                          run_timeout: Optional[float] = None) -> DatasetB:
+    """Sharded :func:`~repro.measure.driver.run_dataset_b`.
+
+    Every Dataset-B vantage point targets the *same* fixed front-end,
+    so all of them form one FE-sharing component: the partition here is
+    plain round-robin and the merged result reproduces the serial run
+    only when concurrent load on that FE is negligible (large
+    ``interval`` relative to session durations).  See
+    ``docs/PERFORMANCE.md`` for the validity discussion.
+    """
+    _check_shardable(scenario)
+    resolved = scenario.service(service_name).frontend_by_name(
+        frontend_name).node.name
+    partition = partition_round_robin(scenario.vantage_points, shards)
+    shard_specs = [
+        _DatasetBShard(config=scenario.config,
+                       service_name=service_name,
+                       frontend_name=resolved,
+                       keyword=keyword,
+                       vp_names=tuple(vp.name for vp in part),
+                       repeats=repeats, interval=interval,
+                       store_payload=store_payload,
+                       run_timeout=run_timeout)
+        for part in partition]
+    results = map_shards(_run_dataset_b_shard, shard_specs, processes)
+
+    merged = DatasetB(service=service_name, fe_name=resolved)
+    merged.sessions = _sessions_in_fleet_order(scenario, results)
+    return merged

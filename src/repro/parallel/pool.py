@@ -1,0 +1,51 @@
+"""Process-pool plumbing shared by all sharded runners.
+
+Kept deliberately thin: a single :func:`map_shards` that preserves
+submission order (results come back positionally, so merges never
+depend on completion order) and falls back to an inline loop when a
+pool would not help — one shard, one process, or a worker that is
+already running inside a daemon process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_processes() -> int:
+    """Default pool size: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def map_shards(worker: Callable[[T], R], shard_args: Sequence[T],
+               processes: int = 0) -> List[R]:
+    """Run ``worker`` over ``shard_args``; results in submission order.
+
+    ``processes`` caps the pool size (0 means one per CPU).  With a
+    single shard, a single process, or when called from a process that
+    cannot fork workers (a daemonic pool child), the work runs inline —
+    same results, no pool.  ``worker`` must be a module-level function
+    and every argument/result picklable; shard specs in
+    :mod:`repro.parallel.campaigns` are plain frozen dataclasses for
+    exactly this reason.
+    """
+    shard_args = list(shard_args)
+    if not shard_args:
+        return []
+    if processes <= 0:
+        processes = default_processes()
+    processes = min(processes, len(shard_args))
+    if processes <= 1 or _in_daemon():
+        return [worker(arg) for arg in shard_args]
+    with multiprocessing.Pool(processes) as pool:
+        return pool.map(worker, shard_args)
+
+
+def _in_daemon() -> bool:
+    """True when already inside a pool worker (workers can't fork)."""
+    return multiprocessing.current_process().daemon

@@ -85,7 +85,8 @@ class BackendDataCenter:
                  registry: KeywordRegistry,
                  streams: RandomStreams,
                  tcp_host,
-                 port: int = BACKEND_PORT):
+                 port: int = BACKEND_PORT,
+                 keyed_draws: bool = False):
         self.sim = sim
         self.node = node
         self.service_name = service_name
@@ -93,6 +94,7 @@ class BackendDataCenter:
         self.processing = processing_model
         self.registry = registry
         self.streams = streams
+        self.keyed_draws = keyed_draws
         self.port = port
         self.query_log: Dict[str, QueryRecord] = {}
         self.queries_served = 0
@@ -112,7 +114,8 @@ class BackendDataCenter:
         query_id = params.get("id", "anon-%d" % self.queries_served)
         keyword = self.registry.resolve(text)
         tproc = self.processing.draw(
-            keyword, self.streams, "tproc/%s" % self.service_name)
+            keyword, self.streams, "tproc/%s" % self.service_name,
+            key=query_id if self.keyed_draws else None)
         record = QueryRecord(query_id=query_id, keyword_text=text,
                              arrival_time=self.sim.now, tproc=tproc)
         self.query_log[query_id] = record

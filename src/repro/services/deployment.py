@@ -125,7 +125,8 @@ class ServiceDeployment:
                  cache_static: bool = True,
                  cache_results: bool = False,
                  registry: Optional[KeywordRegistry] = None,
-                 content_seed: int = 0):
+                 content_seed: int = 0,
+                 keyed_draws: bool = False):
         if not fe_sites:
             raise ValueError("need at least one FE site")
         if not be_sites:
@@ -135,6 +136,7 @@ class ServiceDeployment:
         self.streams = streams
         self.profile = profile
         self.registry = registry or KeywordRegistry()
+        self.keyed_draws = keyed_draws
         self.pages = PageGenerator(profile.name, profile.page_profile,
                                    seed=content_seed)
         self.backends: List[BackendDataCenter] = []
@@ -162,7 +164,8 @@ class ServiceDeployment:
                 processing_model=self.profile.processing,
                 registry=self.registry,
                 streams=self.streams,
-                tcp_host=tcp_host))
+                tcp_host=tcp_host,
+                keyed_draws=self.keyed_draws))
 
     def _build_frontends(self, fe_sites: Sequence[Site],
                          cache_static: bool,
@@ -192,7 +195,8 @@ class ServiceDeployment:
                 cache_results=cache_results,
                 pool_size=self.profile.fe_pool_size,
                 backend_tcp_config=self.profile.backend_tcp,
-                backend_window_bytes=self.profile.backend_window_bytes))
+                backend_window_bytes=self.profile.backend_window_bytes,
+                keyed_draws=self.keyed_draws))
 
     def _nearest_backend(self, location: GeoPoint) -> BackendDataCenter:
         backend, _ = nearest(location, self.backends)

@@ -62,6 +62,9 @@ class FetchRecord:
 class _RequestState:
     """Per-user-request assembly state on the FE."""
 
+    __slots__ = ("responder", "query_id", "keyword_text", "server",
+                 "static_sent", "dynamic_body", "failed", "done")
+
     def __init__(self, responder: Responder, query_id: str,
                  keyword_text: str = "", server=None):
         self.responder = responder
@@ -106,7 +109,8 @@ class FrontEndServer:
                  pool_size: int = 2,
                  backend_tcp_config: Optional[TcpConfig] = None,
                  backend_window_bytes: Optional[int] = None,
-                 port: int = FRONTEND_PORT):
+                 port: int = FRONTEND_PORT,
+                 keyed_draws: bool = False):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         self.sim = sim
@@ -116,6 +120,7 @@ class FrontEndServer:
         self.load_model = load_model
         self.backend_endpoint = Endpoint(backend_host, backend_port)
         self.streams = streams
+        self.keyed_draws = keyed_draws
         self.cache_static = cache_static
         self.cache_results = cache_results
         self.port = port
@@ -165,7 +170,8 @@ class FrontEndServer:
                                     self.active_requests)
         delay = self.load_model.draw(
             self.streams, "fe-load/%s" % self.node.name,
-            concurrency=self.active_requests)
+            concurrency=self.active_requests,
+            key=query_id if self.keyed_draws else None)
         if self.cache_results:
             cached = self.result_cache.get(request.query.get("q", ""))
             if cached is not None and self.cache_static:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.content.keywords import Keyword
 from repro.sim.randomness import RandomStreams
@@ -57,14 +58,21 @@ class FrontEndLoadModel:
             raise ValueError("per_concurrent_delay must be >= 0")
 
     def draw(self, streams: RandomStreams, stream_name: str,
-             concurrency: int = 1) -> float:
+             concurrency: int = 1, key: Optional[str] = None) -> float:
         """Sample one request's FE processing delay.
 
         ``concurrency`` counts the requests in flight on the FE
-        including this one.
+        including this one.  With ``key`` (normally the query id) the
+        lognormal draw comes from a per-key generator instead of the
+        shared sequential stream, making the value independent of the
+        order requests arrive in — required for sharded campaign runs
+        to match serial ones (see :meth:`RandomStreams.keyed`).
         """
         if self.sigma == 0:
             value = self.median_delay
+        elif key is not None:
+            value = streams.keyed(stream_name, key).lognormvariate(
+                math.log(self.median_delay), self.sigma)
         else:
             value = streams.lognormal(stream_name,
                                       math.log(self.median_delay),
@@ -101,10 +109,22 @@ class ProcessingModel:
         return self.base * scale
 
     def draw(self, keyword: Keyword, streams: RandomStreams,
-             stream_name: str) -> float:
-        """Sample Tproc for one query execution."""
+             stream_name: str, key: Optional[str] = None) -> float:
+        """Sample Tproc for one query execution.
+
+        ``key`` (normally the query id) switches the noise draw to a
+        per-key generator so the sampled value does not depend on the
+        arrival order of other queries anywhere in the service — the
+        ``tproc`` stream is shared by every back-end of a service, so
+        without a key any change in global query interleaving would
+        perturb every later draw (see :meth:`RandomStreams.keyed`).
+        """
         mean = self.mean_for(keyword)
         if self.sigma == 0:
             return max(self.floor, mean)
-        noise = streams.lognormal(stream_name, 0.0, self.sigma)
+        if key is not None:
+            noise = streams.keyed(stream_name, key).lognormvariate(
+                0.0, self.sigma)
+        else:
+            noise = streams.lognormal(stream_name, 0.0, self.sigma)
         return max(self.floor, mean * noise)

@@ -8,6 +8,20 @@ The engine deliberately knows nothing about networks or TCP: every other
 layer (links, TCP endpoints, HTTP servers, the measurement driver) is built
 on :meth:`Simulator.schedule` / :meth:`Simulator.call_at` alone.
 
+Performance notes
+-----------------
+A heap entry is a plain five-element list ``[time, seq, callback, args,
+state]`` and the entry itself is the event handle :meth:`Simulator.schedule`
+returns: one allocation per event, no wrapper object, and heap ordering
+uses C-level element-wise comparison (``seq`` is unique, so comparisons
+never reach the callback).  The trailing ``state`` element is the
+cancellation cell — :meth:`Simulator.cancel` flips it, and the entry is
+skipped when it reaches the head (lazy deletion).  TCP retransmit timers
+are scheduled-then-cancelled on nearly every ACK, so cancelled entries
+are drained in batches at the head and, when they exceed
+:data:`COMPACT_THRESHOLD` *and* outnumber live entries, a compaction
+pass rebuilds the heap without them.
+
 Example
 -------
 >>> sim = Simulator()
@@ -24,8 +38,27 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Minimum number of lazily-cancelled queue entries before a compaction
+#: pass is considered (it also requires cancelled > live, see
+#: :meth:`Simulator._compact_if_worthwhile`).
+COMPACT_THRESHOLD = 512
+
+#: Values of the entry's trailing state element.
+_PENDING, _CANCELLED, _EXECUTED = 0, 1, 2
+
+#: Entry layout: ``entry[_STATE]`` is the cancellation cell.
+_STATE = 4
+
+#: An event handle is the heap entry itself — a plain list
+#: ``[time, seq, callback, args, state]``.  Treat it as opaque: cancel
+#: through :meth:`Simulator.cancel`, inspect through :func:`is_cancelled`
+#: / :func:`is_pending`.  Kept as a named alias for annotations.
+EventHandle = list
 
 
 class SimulationError(Exception):
@@ -36,39 +69,14 @@ class SchedulingError(SimulationError):
     """Raised when an event is scheduled in the past or on a dead engine."""
 
 
-class EventHandle:
-    """A cancellable reference to a scheduled event.
+def is_pending(handle: EventHandle) -> bool:
+    """True while the event has neither fired nor been cancelled."""
+    return handle[_STATE] == _PENDING
 
-    Handles are returned by :meth:`Simulator.schedule` and
-    :meth:`Simulator.call_at`.  Cancellation is O(1): the entry is flagged
-    and skipped when it reaches the head of the queue (lazy deletion).
-    """
 
-    __slots__ = ("time", "seq", "callback", "args", "_cancelled")
-
-    def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self._cancelled = False
-
-    def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self._cancelled = True
-
-    @property
-    def cancelled(self) -> bool:
-        return self._cancelled
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self._cancelled else "pending"
-        return "<EventHandle t=%.6f #%d %s %s>" % (
-            self.time, self.seq, getattr(self.callback, "__name__", "?"), state)
+def is_cancelled(handle: EventHandle) -> bool:
+    """True once the event was cancelled (and will therefore never fire)."""
+    return handle[_STATE] == _CANCELLED
 
 
 class Simulator:
@@ -90,9 +98,10 @@ class Simulator:
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: List[EventHandle] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._running = False
         self._processed = 0
+        self._cancelled = 0  # cancelled entries still sitting in the queue
 
     # ------------------------------------------------------------------
     # clock
@@ -104,7 +113,11 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of events executed so far (cancelled events excluded)."""
+        """Number of events executed so far (cancelled events excluded).
+
+        Updated when :meth:`run` returns (the dispatch loop tallies
+        locally); :meth:`step` updates it immediately.
+        """
         return self._processed
 
     @property
@@ -112,15 +125,37 @@ class Simulator:
         """Number of queue entries not yet executed (may include cancelled)."""
         return len(self._queue)
 
+    @property
+    def live_events(self) -> int:
+        """Number of queue entries that will actually fire.
+
+        Unlike :attr:`pending_events` this excludes lazily-cancelled
+        entries; the count is maintained incrementally (no queue scan).
+        """
+        return len(self._queue) - self._cancelled
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the event handle; pass it to :meth:`cancel` to prevent
+        the event from firing.
+        """
+        # Scheduling is the single hottest call in a campaign (every
+        # packet hop, timer arm, and process resume goes through it):
+        # one list literal, no helper calls.
         if delay < 0:
             raise SchedulingError("cannot schedule %r s in the past" % delay)
-        return self.call_at(self._now + delay, callback, *args)
+        if not callable(callback):
+            raise TypeError("callback must be callable, got %r" % (callback,))
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now + delay, seq, callback, args, _PENDING]
+        _heappush(self._queue, entry)
+        return entry
 
     def call_at(self, time: float, callback: Callable[..., Any],
                 *args: Any) -> EventHandle:
@@ -131,9 +166,62 @@ class Simulator:
                 % (time, self._now))
         if not callable(callback):
             raise TypeError("callback must be callable, got %r" % (callback,))
-        handle = EventHandle(float(time), next(self._seq), callback, args)
-        heapq.heappush(self._queue, handle)
-        return handle
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [float(time), seq, callback, args, _PENDING]
+        _heappush(self._queue, entry)
+        return entry
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Prevent a scheduled event from firing.
+
+        O(1) lazy deletion: the entry is flagged and skipped when it
+        reaches the head of the queue.  Idempotent; cancelling an event
+        that already fired is a no-op.  Returns ``True`` if this call
+        cancelled the event, ``False`` if it had already fired or been
+        cancelled.
+        """
+        if handle[_STATE] == _PENDING:
+            handle[_STATE] = _CANCELLED
+            self._cancelled += 1
+            self._compact_if_worthwhile()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # cancelled-entry hygiene
+    # ------------------------------------------------------------------
+    def _compact_if_worthwhile(self) -> None:
+        """Rebuild the heap without cancelled entries when they dominate.
+
+        Triggered from :meth:`cancel`; a rebuild is O(n) so it only runs
+        once cancelled entries both exceed a fixed threshold and
+        outnumber the live ones, which amortises to O(1) per cancel.
+        """
+        if (self._cancelled > COMPACT_THRESHOLD
+                and self._cancelled * 2 > len(self._queue)):
+            # In-place (slice assignment + heapify) so that the dispatch
+            # loop's local alias of the queue stays valid when a callback
+            # triggers compaction mid-run.
+            self._queue[:] = [entry for entry in self._queue
+                              if not entry[_STATE]]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+
+    def _drain_cancelled_head(self) -> None:
+        """Pop the batch of cancelled entries at the head of the queue."""
+        queue = self._queue
+        pop = _heappop
+        while queue and queue[0][_STATE]:
+            pop(queue)
+            self._cancelled -= 1
+
+    def _next_live_time(self) -> Optional[float]:
+        """Time of the next event that will fire, or None when idle."""
+        self._drain_cancelled_head()
+        if self._queue:
+            return self._queue[0][0]
+        return None
 
     # ------------------------------------------------------------------
     # execution
@@ -144,64 +232,97 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue
         was empty (cancelled entries are drained silently).
         """
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
-            self._processed += 1
-            handle.callback(*handle.args)
-            return True
-        return False
+        self._drain_cancelled_head()
+        if not self._queue:
+            return False
+        entry = _heappop(self._queue)
+        self._now = entry[0]
+        self._processed += 1
+        entry[_STATE] = _EXECUTED
+        entry[2](*entry[3])
+        return True
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` additional events have been executed.
 
-        When ``until`` is given, the clock is advanced to exactly ``until``
-        even if the last event fired earlier, mirroring how a wall clock
-        would behave during an idle tail.
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fired earlier, mirroring how a
+        wall clock would behave during an idle tail.  This holds for
+        every stop condition: if ``max_events`` exhausts the queue's
+        window the clock still lands on ``until``.  The only exception is
+        an event still pending at or before ``until`` (possible only when
+        ``max_events`` cut execution short) — then the clock stays on the
+        last executed event so that pending work is never skipped over.
         """
         if self._running:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        pop = _heappop
         try:
-            while self._queue:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and head.time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    return
-                heapq.heappop(self._queue)
-                self._now = head.time
-                self._processed += 1
-                head.callback(*head.args)
-                executed += 1
-            if until is not None and until > self._now:
-                self._now = until
+            if until is None and max_events is None:
+                # Run-to-drain fast path: no per-event bound checks.
+                # This is the loop almost every campaign sits in.
+                while queue:
+                    entry = pop(queue)
+                    if entry[4]:
+                        self._cancelled -= 1
+                        continue
+                    self._now = entry[0]
+                    entry[4] = _EXECUTED
+                    entry[2](*entry[3])
+                    executed += 1
+            else:
+                # Sentinels instead of per-event ``is not None`` tests:
+                # an unreachable horizon and a count no tally equals.
+                horizon = float("inf") if until is None else until
+                limit = -1 if max_events is None else max_events
+                while queue and executed != limit:
+                    entry = pop(queue)
+                    if entry[4]:
+                        self._cancelled -= 1
+                        continue
+                    time = entry[0]
+                    if time > horizon:
+                        # Past the window: put the entry back (same seq,
+                        # so ordering is preserved).  At most once per
+                        # run().
+                        _heappush(queue, entry)
+                        break
+                    self._now = time
+                    entry[4] = _EXECUTED
+                    entry[2](*entry[3])
+                    executed += 1
         finally:
             self._running = False
+            self._processed += executed
+        if until is not None and until > self._now:
+            next_time = self._next_live_time()
+            if next_time is None or next_time > until:
+                self._now = until
 
     def run_until_idle(self, idle_gap: float, hard_limit: float) -> None:
         """Run until no event fires within ``idle_gap`` of the previous one.
 
         Useful for draining a measurement session whose natural end is "the
-        connection went quiet".  ``hard_limit`` caps total simulated time.
+        connection went quiet".  ``hard_limit`` caps total simulated time:
+        an event scheduled past it never fires, even mid-burst, so the
+        clock cannot overshoot the cap.  An inter-event gap *exactly*
+        equal to ``idle_gap`` does not stop the run (the test is strictly
+        greater-than).
         """
         if idle_gap <= 0:
             raise ValueError("idle_gap must be positive")
         last = self._now
-        while self._queue and self._now < hard_limit:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time - last > idle_gap:
+        while self.live_events and self._now < hard_limit:
+            self._drain_cancelled_head()
+            if not self._queue:
+                break
+            next_time = self._queue[0][0]
+            if next_time - last > idle_gap or next_time > hard_limit:
                 break
             if not self.step():
                 break

@@ -101,7 +101,7 @@ class Process:
     def _resume(self, value: Any = None) -> None:
         """Advance the coroutine stack with ``value``."""
         if self._timeout_handle is not None:
-            self._timeout_handle.cancel()
+            self.sim.cancel(self._timeout_handle)
             self._timeout_handle = None
         while self._stack:
             top = self._stack[-1]

@@ -47,6 +47,22 @@ class RandomStreams:
             self._streams[name] = stream
         return stream
 
+    def keyed(self, name: str, key: str) -> random.Random:
+        """A fresh, deterministic RNG for one (stream, key) pair.
+
+        Unlike :meth:`get`, the returned generator is *not* shared or
+        cached: every call with the same ``(name, key)`` yields an
+        identical, freshly-seeded :class:`random.Random`.  Draws made
+        through it therefore depend only on the root seed and the key —
+        never on how many draws other consumers of the stream have made
+        before.  This order-independence is what lets sharded campaign
+        runs (see :mod:`repro.parallel`) reproduce the serial run's
+        values bit-for-bit: a per-query key gives every query the same
+        draws no matter which process executes it or in which order
+        queries arrive.
+        """
+        return random.Random(derive_seed(self.seed, name + "#" + key))
+
     def spawn(self, name: str) -> "RandomStreams":
         """Create a child registry whose root seed depends on ``name``.
 

@@ -90,6 +90,34 @@ class SendBuffer:
                 break
         return b"".join(out)
 
+    def peek_view(self, offset: int, size: int):
+        """Zero-copy :meth:`peek`: a memoryview into one stored chunk.
+
+        The transmit path sends MSS-sized slices of chunks the
+        application enqueued whole, so the requested range almost always
+        lies inside a single chunk; returning a view of it means segment
+        payloads cross the simulated wire without being copied at every
+        hop.  Ranges that straddle chunks fall back to the copying
+        :meth:`peek`.  Views stay valid after :meth:`ack_to` releases the
+        chunk (bytes are immutable and the view keeps them alive).
+        """
+        if offset < self._base:
+            raise ValueError("offset %d below buffer base %d (already "
+                             "released)" % (offset, self._base))
+        if size <= 0 or offset >= self._length:
+            return b""
+        position = self._base
+        for chunk in self._chunks:
+            chunk_end = position + len(chunk)
+            if chunk_end <= offset:
+                position = chunk_end
+                continue
+            start = offset - position
+            if start + size <= len(chunk):
+                return memoryview(chunk)[start:start + size]
+            break
+        return self.peek(offset, size)
+
     def advance_nxt(self, size: int) -> None:
         """Record that ``size`` new bytes were transmitted."""
         if self.nxt + size > self._length:
@@ -123,6 +151,11 @@ class Reassembler:
     Offsets are absolute stream offsets (the connection layer strips the
     peer's ISN).  Duplicate and overlapping segments are tolerated; data
     already delivered is ignored.
+
+    Offered data may be ``bytes`` or a ``memoryview`` (the zero-copy
+    segment payloads produced by :meth:`SendBuffer.peek_view`); the
+    in-order stream returned by :meth:`offer` is always real ``bytes`` —
+    application delivery is the materialization boundary.
     """
 
     def __init__(self, window_bytes: int = 1 << 20):
@@ -148,12 +181,19 @@ class Reassembler:
         duplicate or left a gap.
         """
         if data:
+            expected = self.next_expected
+            # Fast path: the segment lands exactly in order with nothing
+            # buffered behind it — by far the common case on a loss-free
+            # path.  Skips the store/drain dict traffic entirely.
+            if offset == expected and not self._segments:
+                self.next_expected = expected + len(data)
+                return data if type(data) is bytes else bytes(data)
             end = offset + len(data)
-            if end > self.next_expected:
+            if end > expected:
                 # Trim any prefix we have already delivered.
-                if offset < self.next_expected:
-                    data = data[self.next_expected - offset:]
-                    offset = self.next_expected
+                if offset < expected:
+                    data = data[expected - offset:]
+                    offset = expected
                 self._store(offset, data)
         return self._drain()
 

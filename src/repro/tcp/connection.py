@@ -34,7 +34,7 @@ from repro.tcp.congestion import (
     FixedWindowController,
     RenoController,
 )
-from repro.tcp.segment import Segment
+from repro.tcp.segment import HEADER_BYTES, Segment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.tcp.host import TcpHost
@@ -112,6 +112,14 @@ class Connection:
         self.state = State.CLOSED
         self.passive = passive
         self.stats = ConnectionStats()
+        # Flow-key fields cached as plain attributes: ``self.local`` /
+        # ``self.remote`` are property hops, and the transmit path reads
+        # these once per segment.
+        self._node = host.node
+        self._sport = flow.local.port
+        self._dport = flow.remote.port
+        self._src_host = flow.local.host
+        self._dst_host = flow.remote.host
 
         if controller is not None:
             self.cc: CongestionController = controller
@@ -141,13 +149,17 @@ class Connection:
         self._peer_fin_offset: Optional[int] = None
         self._peer_fin_delivered = False
 
-        # Loss recovery.
+        # Loss recovery.  RTO timers are deadline-based: ACK processing
+        # moves ``_rto_deadline`` (a float store) instead of cancelling
+        # and rescheduling an engine event per ACK; the single sleeping
+        # timer re-checks the deadline when it fires (see ``_on_rto``).
         self._dupacks = 0
         self._recover_offset = 0
         self._rto = config.initial_rto
         self._srtt: Optional[float] = None
         self._rttvar = 0.0
         self._rto_timer = None
+        self._rto_deadline: Optional[float] = None
         self._retries = 0
         self._rtt_probe: Optional[tuple] = None  # (end_offset, send_time)
 
@@ -156,8 +168,12 @@ class Connection:
         self._delack_timer = None
         self._segments_since_ack = 0
 
-        # RFC 2861 idle detection.
+        # RFC 2861 idle detection (controller kind never changes, so the
+        # isinstance test runs once here instead of per send attempt).
         self._last_send_time = self.sim.now
+        self._idle_reset_enabled = (
+            config.slow_start_after_idle
+            and isinstance(self.cc, (RenoController, CubicController)))
 
         self.open_time = self.sim.now
         self.established_time: Optional[float] = None
@@ -168,8 +184,9 @@ class Connection:
     # ------------------------------------------------------------------
     @property
     def established(self) -> bool:
-        return self.state in (State.ESTABLISHED, State.FIN_WAIT_1,
-                              State.FIN_WAIT_2, State.CLOSE_WAIT)
+        state = self.state
+        return state is State.ESTABLISHED or state in (
+            State.FIN_WAIT_1, State.FIN_WAIT_2, State.CLOSE_WAIT)
 
     @property
     def local(self) -> Endpoint:
@@ -247,22 +264,26 @@ class Connection:
         return seq - (self.peer_isn + 1)
 
     def _rcv_nxt(self) -> int:
-        """Next absolute sequence number expected from the peer."""
-        assert self.peer_isn is not None
+        """Next absolute sequence number expected from the peer.
+
+        Callers must guarantee ``peer_isn`` is set (every call site is
+        behind a handshake or ``peer_isn is not None`` guard); this runs
+        once per ACK-carrying segment, so it skips re-checking.
+        """
         offset = self.reassembler.next_expected
-        fin_extra = 0
-        if (self._peer_fin_offset is not None
-                and offset >= self._peer_fin_offset):
-            fin_extra = 1
-        return self.peer_isn + 1 + offset + fin_extra
+        fin_offset = self._peer_fin_offset
+        if fin_offset is not None and offset >= fin_offset:
+            offset += 1
+        return self.peer_isn + 1 + offset
 
     # ------------------------------------------------------------------
     # segment reception
     # ------------------------------------------------------------------
     def handle_segment(self, segment: Segment) -> None:
         """Entry point for every segment of this flow delivered to us."""
-        self.stats.segments_received += 1
-        self.stats.bytes_received += len(segment.data)
+        stats = self.stats
+        stats.segments_received += 1
+        stats.bytes_received += len(segment.data)
 
         if self.state == State.SYN_SENT:
             self._handle_in_syn_sent(segment)
@@ -278,11 +299,12 @@ class Connection:
                     syn=True, ack_flag=True, retransmit=True))
             return
 
+        tried_send = False
         if segment.ack_flag:
-            self._process_ack(segment)
+            tried_send = self._process_ack(segment)
         if segment.data or segment.fin:
             self._process_payload(segment)
-        self._flush_ack_or_data()
+        self._flush_ack_or_data(tried_send=tried_send)
 
     def _handle_in_syn_sent(self, segment: Segment) -> None:
         if not (segment.syn and segment.ack_flag):
@@ -307,7 +329,9 @@ class Connection:
         self.app.on_established(self)
         self._try_send()
 
-    def _process_ack(self, segment: Segment) -> None:
+    def _process_ack(self, segment: Segment) -> bool:
+        """Handle the ACK field; returns True if it ran its _try_send
+        (letting handle_segment skip the redundant one in the flush)."""
         if self.state == State.SYN_RCVD:
             if segment.ack == self.isn + 1:
                 self._syn_acked = True
@@ -326,7 +350,7 @@ class Connection:
             fin_now_acked = False
 
         if ack_offset > self.send_buffer.nxt:
-            return  # acks data we never sent; ignore
+            return False  # acks data we never sent; ignore
 
         newly = 0
         if ack_offset > self.send_buffer.una:
@@ -349,11 +373,12 @@ class Connection:
             else:
                 self._cancel_rto()
         self._try_send()
+        return True
 
     def _on_bytes_acked(self, ack_offset: int, newly: int) -> None:
         # RTT sampling (Karn: the probe is only set on fresh sends).
         if self._rtt_probe is not None and ack_offset >= self._rtt_probe[0]:
-            self._update_rtt(self.sim.now - self._rtt_probe[1])
+            self._update_rtt(self.sim._now - self._rtt_probe[1])
             self._rtt_probe = None
         if self.cc.in_recovery:
             if ack_offset >= self._recover_offset:
@@ -383,7 +408,7 @@ class Connection:
     def _process_payload(self, segment: Segment) -> None:
         if self.peer_isn is None:
             return
-        offset = self._recv_offset(segment.seq)
+        offset = segment.seq - (self.peer_isn + 1)
         delivered = self.reassembler.offer(offset, segment.data)
 
         if segment.fin:
@@ -466,35 +491,68 @@ class Connection:
 
     def _try_send(self) -> None:
         """Transmit as much new data as the windows allow."""
+        sb = self.send_buffer
+        # Nothing unsent and no FIN pending: skip the whole window scan.
+        # On a one-directional transfer roughly half of all calls land
+        # here (the receiving side runs _try_send once per segment), so
+        # this early-out is load-bearing for bulk-transfer throughput.
+        # The RFC 2861 idle check still runs when enabled: a pure ACK
+        # can refresh _last_send_time before the next data send, so the
+        # collapse cannot be deferred to the sending call.
+        if sb.nxt == sb.stream_length and (
+                self._fin_sent or not sb.fin_enqueued):
+            if self._idle_reset_enabled and self.established:
+                self._maybe_reset_after_idle()
+            return
         if not self.established:
             return
         self._maybe_reset_after_idle()
         sent_any = False
+        # Window bounds are loop-invariant (cc.on_ack never runs inside
+        # the loop), so they are computed once, and flight is tracked
+        # from the buffer offsets directly.
+        config = self.config
+        mss = config.mss
+        nagle = config.nagle
+        window = self.cc.cwnd
+        if self.peer_rwnd < window:
+            window = self.peer_rwnd
+        # Also invariant inside the loop: nothing in it enqueues data or
+        # receives segments, so stream length and the ACK fields are
+        # fixed for the batch.
+        length = sb.stream_length
+        sport = self._sport
+        dport = self._dport
+        has_peer = self.peer_isn is not None
+        rcv_nxt = self._rcv_nxt() if has_peer else 0
+        seq_base = self.isn + 1
         while True:
-            available = self._window_available()
-            unsent = self.send_buffer.unsent_bytes
+            available = window - (sb.nxt - sb.una)
+            unsent = length - sb.nxt
             if unsent <= 0 or available <= 0:
                 break
-            size = min(self.config.mss, unsent, available)
-            if (self.config.nagle and size < self.config.mss
-                    and self._flight_size() > 0):
+            size = mss
+            if unsent < size:
+                size = unsent
+            if available < size:
+                size = available
+            if nagle and size < mss and sb.nxt - sb.una > 0:
                 break
-            offset = self.send_buffer.nxt
-            data = self.send_buffer.peek(offset, size)
-            self.send_buffer.advance_nxt(len(data))
-            fin = (self.send_buffer.fin_enqueued
-                   and self.send_buffer.unsent_bytes == 0
+            offset = sb.nxt
+            data = sb.peek_view(offset, size)
+            sb.advance_nxt(len(data))
+            fin = (sb.fin_enqueued
+                   and length == sb.nxt
                    and not self._fin_sent)
             if fin:
                 self._fin_sent = True
                 self._note_fin_state()
-            segment = Segment(sport=self.local.port, dport=self.remote.port,
-                              seq=self._send_seq(offset),
-                              ack=self._rcv_nxt() if self.peer_isn is not None else 0,
-                              ack_flag=self.peer_isn is not None,
+            segment = Segment(sport=sport, dport=dport,
+                              seq=seq_base + offset,
+                              ack=rcv_nxt, ack_flag=has_peer,
                               data=data, fin=fin)
             if self._rtt_probe is None:
-                self._rtt_probe = (offset + len(data), self.sim.now)
+                self._rtt_probe = (offset + len(data), self.sim._now)
             self._transmit(segment)
             self._ack_pending = False
             self._segments_since_ack = 0
@@ -517,13 +575,11 @@ class Connection:
 
     def _maybe_reset_after_idle(self) -> None:
         """RFC 2861: collapse cwnd after an idle period (if configured)."""
-        if not self.config.slow_start_after_idle:
+        if not self._idle_reset_enabled:
             return
-        if not isinstance(self.cc, (RenoController, CubicController)):
-            return
-        if self._flight_size() > 0:
+        if self.send_buffer.unacked_bytes > 0:
             return  # not idle: data is in flight
-        idle = self.sim.now - self._last_send_time
+        idle = self.sim._now - self._last_send_time
         if idle > max(self._rto, self.config.min_rto):
             self.cc.cwnd = min(self.cc.cwnd, self.config.initial_cwnd_bytes)
 
@@ -540,7 +596,7 @@ class Connection:
         if offset < self.send_buffer.stream_length:
             size = min(self.config.mss,
                        self.send_buffer.nxt - offset) or self.config.mss
-            data = self.send_buffer.peek(offset, size)
+            data = self.send_buffer.peek_view(offset, size)
             fin = (self._fin_sent
                    and offset + len(data) >= self.send_buffer.stream_length)
             segment = Segment(sport=self.local.port, dport=self.remote.port,
@@ -560,9 +616,15 @@ class Connection:
         self._transmit(segment)
         self._arm_rto(restart=True)
 
-    def _flush_ack_or_data(self) -> None:
-        """Send queued data (which piggybacks the ACK) or a pure ACK."""
-        self._try_send()
+    def _flush_ack_or_data(self, tried_send: bool = False) -> None:
+        """Send queued data (which piggybacks the ACK) or a pure ACK.
+
+        ``tried_send=True`` means _process_ack already ran _try_send for
+        this segment and nothing changed since (app sends trigger their
+        own _try_send), so the redundant window scan is skipped.
+        """
+        if not tried_send:
+            self._try_send()
         if not self._ack_pending or self.peer_isn is None:
             return
         if self.config.delayed_ack and self._segments_since_ack < 2 \
@@ -582,22 +644,22 @@ class Connection:
         self._ack_pending = False
         self._segments_since_ack = 0
         if self._delack_timer is not None:
-            self._delack_timer.cancel()
+            self.sim.cancel(self._delack_timer)
             self._delack_timer = None
-        self._transmit(Segment(sport=self.local.port, dport=self.remote.port,
-                               seq=self._send_seq(self.send_buffer.nxt),
+        self._transmit(Segment(sport=self._sport, dport=self._dport,
+                               seq=self.isn + 1 + self.send_buffer.nxt,
                                ack=self._rcv_nxt(), ack_flag=True))
 
     def _transmit(self, segment: Segment) -> None:
-        self.stats.segments_sent += 1
-        self.stats.bytes_sent += len(segment.data)
-        self._last_send_time = self.sim.now
-        if segment.retransmit:
-            pass  # counted by callers that know the cause
-        packet = Packet(src=self.local.host, dst=self.remote.host,
-                        protocol="tcp", size_bytes=segment.wire_size,
+        stats = self.stats
+        stats.segments_sent += 1
+        size = len(segment.data)
+        stats.bytes_sent += size
+        self._last_send_time = self.sim._now
+        packet = Packet(src=self._src_host, dst=self._dst_host,
+                        protocol="tcp", size_bytes=HEADER_BYTES + size,
                         payload=segment)
-        self.host.node.send(packet)
+        self._node.send(packet)
 
     # ------------------------------------------------------------------
     # timers & RTT estimation (RFC 6298)
@@ -621,24 +683,53 @@ class Connection:
         self._update_rtt(self.sim.now - self.open_time)
 
     def _arm_rto(self, restart: bool = False) -> None:
-        if restart:
-            self._cancel_rto()
-        if self._rto_timer is None:
-            self._rto_timer = self.sim.schedule(self._rto, self._on_rto)
+        """(Re)arm the retransmission timer.
+
+        ``_rto_deadline`` is the authoritative expiry; the engine event
+        is only a wake-up that re-checks it.  Restarting on every ACK is
+        therefore a float store, not an engine cancel + reschedule — the
+        dominant timer cost of a bulk transfer.
+        """
+        deadline = self._rto_deadline
+        if restart or deadline is None:
+            deadline = self.sim._now + self._rto
+            self._rto_deadline = deadline
+            timer = self._rto_timer
+            if timer is None:
+                self._rto_timer = self.sim.call_at(deadline, self._on_rto)
+            elif timer[0] > deadline:
+                # The sleeping wake-up (entry[0] is its scheduled time)
+                # would fire too late for the new, earlier deadline (the
+                # RTO estimate shrank): reschedule it.
+                self.sim.cancel(timer)
+                self._rto_timer = self.sim.call_at(deadline, self._on_rto)
 
     def _cancel_rto(self) -> None:
+        # Real cancel, not just a deadline clear: a sleeping wake-up
+        # would otherwise keep the queue non-idle after quiesce and
+        # stretch run()'s end time past the last real event.
+        self._rto_deadline = None
         if self._rto_timer is not None:
-            self._rto_timer.cancel()
+            self.sim.cancel(self._rto_timer)
             self._rto_timer = None
 
     def _cancel_timers(self) -> None:
         self._cancel_rto()
         if self._delack_timer is not None:
-            self._delack_timer.cancel()
+            self.sim.cancel(self._delack_timer)
             self._delack_timer = None
 
     def _on_rto(self) -> None:
         self._rto_timer = None
+        deadline = self._rto_deadline
+        if deadline is None:
+            return  # lazily disarmed; nothing outstanding
+        if deadline > self.sim._now:
+            # ACK progress pushed the deadline while we slept; sleep out
+            # the remainder.
+            self._rto_timer = self.sim.call_at(deadline, self._on_rto)
+            return
+        self._rto_deadline = None
         if not self._outstanding():
             return
         self.stats.timeouts += 1

@@ -38,6 +38,10 @@ class TcpHost:
         self.config = config or TcpConfig()
         self.streams = streams or RandomStreams(0)
         self.connections: Dict[FlowKey, Connection] = {}
+        # Fast demux index: (local_port, remote_host, remote_port) ->
+        # Connection.  Plain int/str tuples hash far cheaper than the
+        # nested frozen-dataclass FlowKey, and _receive runs per packet.
+        self._flows: Dict[tuple, Connection] = {}
         self.listeners: Dict[int, AppFactory] = {}
         self.listener_configs: Dict[int, TcpConfig] = {}
         self._ports = EphemeralPortAllocator()
@@ -72,12 +76,18 @@ class TcpHost:
         conn = Connection(self, flow, app, config or self.config,
                           controller=controller)
         self.connections[flow] = conn
+        self._flows[self._flow_index(flow)] = conn
         conn.open_active()
         return conn
+
+    @staticmethod
+    def _flow_index(flow: FlowKey) -> tuple:
+        return (flow.local.port, flow.remote.host, flow.remote.port)
 
     def forget(self, conn: Connection) -> None:
         """Release a closed connection's flow state and ephemeral port."""
         self.connections.pop(conn.flow, None)
+        self._flows.pop(self._flow_index(conn.flow), None)
         if conn.flow.local.port >= EphemeralPortAllocator.FIRST:
             self._ports.release(conn.flow.local.port)
 
@@ -88,15 +98,15 @@ class TcpHost:
         segment = packet.payload
         if not isinstance(segment, Segment):
             return
-        flow = FlowKey(Endpoint(self.node.name, segment.dport),
-                       Endpoint(packet.src, segment.sport))
-        conn = self.connections.get(flow)
+        conn = self._flows.get((segment.dport, packet.src, segment.sport))
         if conn is not None:
             conn.handle_segment(segment)
             return
         if segment.syn and not segment.ack_flag:
             factory = self.listeners.get(segment.dport)
             if factory is not None:
+                flow = FlowKey(Endpoint(self.node.name, segment.dport),
+                               Endpoint(packet.src, segment.sport))
                 self._accept(flow, segment, factory)
                 return
         # No matching flow or listener: silently drop (a real stack would
@@ -108,6 +118,7 @@ class TcpHost:
         config = self.listener_configs.get(flow.local.port, self.config)
         conn = Connection(self, flow, app, config, passive=True)
         self.connections[flow] = conn
+        self._flows[self._flow_index(flow)] = conn
         conn._open_passive(syn)
 
     # ------------------------------------------------------------------

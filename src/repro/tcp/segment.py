@@ -9,12 +9,23 @@ simulated wire must carry the actual synthetic HTML.
 Sequence-number arithmetic follows TCP conventions: SYN and FIN each
 consume one sequence number; ``seq`` is the number of the first payload
 byte; ``ack`` is cumulative (next byte expected).
+
+``data`` is bytes-like rather than strictly ``bytes``: the send path
+hands segments zero-copy :class:`memoryview` slices of the send buffer
+(see :meth:`repro.tcp.buffers.SendBuffer.peek_view`), which every layer
+below treats as length-only freight.  Consumers that need real bytes —
+the packet-capture boundary, application delivery — materialize with
+``bytes(...)`` there and only there.
+
+Like :class:`~repro.net.packet.Packet`, this is a manual ``__slots__``
+class: one segment per MSS of payload plus one per ACK makes the
+constructor a hot-path cost.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from typing import Optional
 
 #: Combined TCP + IP + link framing bytes charged per segment on the wire.
 HEADER_BYTES = 40
@@ -26,7 +37,6 @@ DEFAULT_MSS = 1460
 _segment_counter = itertools.count(1)
 
 
-@dataclass
 class Segment:
     """One TCP segment.
 
@@ -41,7 +51,8 @@ class Segment:
     ack:
         Cumulative acknowledgement number; meaningful when ``ack_flag``.
     data:
-        Payload bytes (may be empty).
+        Payload bytes (may be empty; may be a ``memoryview`` into the
+        sender's buffer — see module docstring).
     syn, fin, ack_flag:
         Control flags.
     retransmit:
@@ -51,20 +62,25 @@ class Segment:
         Unique id for tracing.
     """
 
-    sport: int
-    dport: int
-    seq: int
-    ack: int = 0
-    data: bytes = b""
-    syn: bool = False
-    fin: bool = False
-    ack_flag: bool = False
-    retransmit: bool = False
-    uid: int = field(default_factory=lambda: next(_segment_counter))
+    __slots__ = ("sport", "dport", "seq", "ack", "data", "syn", "fin",
+                 "ack_flag", "retransmit", "uid")
 
-    def __post_init__(self):
-        if self.seq < 0 or self.ack < 0:
+    def __init__(self, sport: int, dport: int, seq: int, ack: int = 0,
+                 data: bytes = b"", syn: bool = False, fin: bool = False,
+                 ack_flag: bool = False, retransmit: bool = False,
+                 uid: Optional[int] = None):
+        if seq < 0 or ack < 0:
             raise ValueError("sequence/ack numbers must be non-negative")
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq
+        self.ack = ack
+        self.data = data
+        self.syn = syn
+        self.fin = fin
+        self.ack_flag = ack_flag
+        self.retransmit = retransmit
+        self.uid = next(_segment_counter) if uid is None else uid
 
     @property
     def seq_span(self) -> int:
@@ -84,7 +100,7 @@ class Segment:
     @property
     def is_pure_ack(self) -> bool:
         """True for segments that carry only an acknowledgement."""
-        return (self.ack_flag and not self.data
+        return (self.ack_flag and not len(self.data)
                 and not self.syn and not self.fin)
 
     def describe(self) -> str:

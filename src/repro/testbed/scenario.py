@@ -52,6 +52,13 @@ class ScenarioConfig:
     dns_variance: float = 0.0
     #: TCP config for vantage-point stacks.
     client_tcp: TcpConfig = TcpConfig()
+    #: When True, FE load and BE processing delays are drawn from
+    #: per-query generators (keyed by query id) instead of shared
+    #: sequential streams.  The marginal distributions are identical but
+    #: the realizations differ; per-query draws do not depend on the
+    #: global arrival order, which is what lets sharded campaign runs
+    #: reproduce serial ones bit-for-bit (see ``repro.parallel``).
+    keyed_service_draws: bool = False
 
     def __post_init__(self):
         if not 0.0 <= self.dns_variance <= 1.0:
@@ -80,14 +87,16 @@ class Scenario:
                 fe_sites=sites.google_like_fe_sites(),
                 be_sites=list(sites.GOOGLE_LIKE_BE_SITES),
                 cache_static=self.config.cache_static,
-                content_seed=self.config.seed),
+                content_seed=self.config.seed,
+                keyed_draws=self.config.keyed_service_draws),
             bing_profile.name: ServiceDeployment(
                 self.sim, self.topology, self.streams, bing_profile,
                 fe_sites=sites.akamai_like_fe_sites(
                     self.config.akamai_coverage),
                 be_sites=list(sites.BING_LIKE_BE_SITES),
                 cache_static=self.config.cache_static,
-                content_seed=self.config.seed + 1),
+                content_seed=self.config.seed + 1,
+                keyed_draws=self.config.keyed_service_draws),
         }
         self.vantage_points: List[VantagePoint] = generate_vantage_points(
             self.config.vantage_count, streams=self.streams)
