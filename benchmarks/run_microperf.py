@@ -10,12 +10,17 @@ interpret it.
 Usage (from the repo root)::
 
     python benchmarks/run_microperf.py --label "my change"
-    python benchmarks/run_microperf.py --check 2.0   # vs previous entry
+    python benchmarks/run_microperf.py --check 2.0 --dry-run  # CI gate
+
+``--check RATIO`` is a *regression* gate: it fails when any benchmark's
+median is more than RATIO times slower than the previous trajectory
+entry.  Benchmarks without a previous median (newly added) pass.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
 import subprocess
@@ -46,6 +51,28 @@ def run_benchmarks() -> dict:
             for bench in report["benchmarks"]}
 
 
+def provenance() -> dict:
+    """Git SHA and date stamps for a trajectory entry.
+
+    Either stamp degrades to ``"unknown"`` (no git, no checkout, …) —
+    provenance must never fail a benchmark run.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    try:
+        # Wall-clock provenance of the *host* run that produced the
+        # entry; nothing inside the simulations reads it.
+        date = datetime.date.today().isoformat()  # simlint: ignore[DET001]
+    except (OSError, OverflowError):
+        date = "unknown"
+    return {"git_sha": sha, "date": date}
+
+
 def load_trajectory() -> dict:
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH) as handle:
@@ -60,9 +87,11 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default="unlabeled",
                         help="name for this entry in the trajectory")
     parser.add_argument("--check", type=float, metavar="RATIO",
-                        help="exit non-zero unless every benchmark is at "
-                             "least RATIO x faster than the previous "
-                             "trajectory entry")
+                        help="regression gate: exit non-zero if any "
+                             "benchmark's median is more than RATIO x "
+                             "slower than the previous trajectory entry "
+                             "(new benchmarks pass); combine with "
+                             "--dry-run in CI")
     parser.add_argument("--dry-run", action="store_true",
                         help="print medians without updating the file")
     args = parser.parse_args(argv)
@@ -82,22 +111,28 @@ def main(argv=None) -> int:
         print(line)
 
     if args.check is not None:
-        if previous is None:
-            print("--check: no previous entry to compare against")
+        if args.check <= 0:
+            print("--check: RATIO must be positive")
             return 2
-        failures = [
-            name for name, median in medians.items()
-            if name in previous["medians"]
-            and previous["medians"][name] / median < args.check]
-        if failures:
-            print("--check %.2f FAILED for: %s"
-                  % (args.check, ", ".join(sorted(failures))))
-            return 1
-        print("--check %.2f passed" % args.check)
+        if previous is None:
+            print("--check: no previous entry; nothing to regress from")
+        else:
+            failures = [
+                name for name, median in medians.items()
+                if name in previous["medians"]
+                and median > previous["medians"][name] * args.check]
+            if failures:
+                print("--check %.2f FAILED (slower than %.2fx previous) "
+                      "for: %s" % (args.check, args.check,
+                                   ", ".join(sorted(failures))))
+                return 1
+            print("--check %.2f passed (no benchmark regressed past "
+                  "%.2fx the previous medians)" % (args.check, args.check))
 
     if not args.dry_run:
-        trajectory["runs"].append({"label": args.label,
-                                   "medians": medians})
+        entry = {"label": args.label, "medians": medians}
+        entry.update(provenance())
+        trajectory["runs"].append(entry)
         with open(BASELINE_PATH, "w") as handle:
             json.dump(trajectory, handle, indent=2, sort_keys=True)
             handle.write("\n")

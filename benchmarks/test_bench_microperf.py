@@ -7,6 +7,7 @@ end-to-end query path.
 """
 
 from repro.content.keywords import Keyword
+from repro.measure.driver import run_dataset_a
 from repro.measure.emulator import QueryEmulator
 from repro.net.address import Endpoint
 from repro.sim import units
@@ -92,3 +93,39 @@ def test_bench_single_query_end_to_end(benchmark):
 
     session = benchmark(query)
     assert session.complete
+
+
+def _dataset_a_campaign(replay_cache):
+    """A small Dataset-A campaign shaped for session-timeline reuse.
+
+    Deterministic keyed services and a repeat/interval combination that
+    keeps most rounds inside one start-time binade, so the replay cache
+    (when enabled) converts the bulk of the 120 sessions into hits.
+    The two benchmarks below run the identical campaign with the cache
+    off and on; their ratio is the cache's campaign-level speedup.
+    """
+    scenario = Scenario(ScenarioConfig(seed=7, vantage_count=3,
+                                       keyed_service_draws=True,
+                                       deterministic_services=True))
+    keyword = Keyword(text="campaign benchmark query", popularity=0.8,
+                      complexity=0.3)
+    return run_dataset_a(scenario, [keyword], repeats=40, interval=3.0,
+                         services=[Scenario.GOOGLE],
+                         replay_cache=replay_cache)
+
+
+def test_bench_dataset_a_campaign_simulated(benchmark):
+    """Dataset-A campaign wall-clock with the replay cache OFF."""
+    dataset = benchmark(lambda: _dataset_a_campaign(False))
+    assert len(dataset.sessions) == 120
+    assert all(s.complete for s in dataset.sessions)
+    assert dataset.replay is None
+
+
+def test_bench_dataset_a_campaign_replay_cached(benchmark):
+    """The same campaign with the replay cache ON (>= 1.5x target)."""
+    dataset = benchmark(lambda: _dataset_a_campaign(True))
+    assert len(dataset.sessions) == 120
+    assert all(s.complete for s in dataset.sessions)
+    assert dataset.replay is not None
+    assert dataset.replay.hits > len(dataset.sessions) // 2

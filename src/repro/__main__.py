@@ -138,6 +138,13 @@ def main(argv=None) -> int:
                              "processes where supported (Dataset A; "
                              "same results as serial, see "
                              "docs/PERFORMANCE.md)")
+    parser.add_argument("--no-replay-cache", action="store_true",
+                        help="disable the session-replay cache "
+                             "(repro.sim.replay), which memoizes "
+                             "repeated query timelines; equivalent to "
+                             "REPRO_REPLAY_CACHE=0.  The cache changes "
+                             "no results, only wall-clock time (see "
+                             "docs/PERFORMANCE.md)")
     args = parser.parse_args(argv)
 
     unknown = [name for name in args.experiments
@@ -151,6 +158,8 @@ def main(argv=None) -> int:
         # Plumbed via the environment so every runner (and the worker
         # processes of --jobs) sees it without new signatures.
         os.environ["REPRO_CAMPAIGN_SHARDS"] = str(args.shards)
+    if args.no_replay_cache:
+        os.environ["REPRO_REPLAY_CACHE"] = "0"
     scale = getattr(ExperimentScale, args.scale)(seed=args.seed)
     names = args.experiments or list(EXPERIMENTS)
 

@@ -133,6 +133,20 @@ class PacketCapture:
             payload=bytes(segment.data) if self.store_payload else None))
 
     # ------------------------------------------------------------------
+    def inject(self, events: List[PacketEvent]) -> None:
+        """Append pre-built events, as if the tap had observed them.
+
+        Used by the session-replay cache to make a replayed session
+        leave exactly the capture footprint its full simulation would
+        have left.  The caller is responsible for event times: injected
+        events should not be later than the simulation clock (the tap
+        only ever appends at ``sim.now``, so per-port chronological
+        order is preserved as long as injection happens at or after the
+        last event's timestamp).
+        """
+        self.events.extend(events)
+
+    # ------------------------------------------------------------------
     def flow_events(self, local_port: int,
                     start: float = 0.0,
                     end: float = float("inf")) -> List[PacketEvent]:

@@ -26,6 +26,13 @@ from repro.measure.emulator import QueryEmulator
 from repro.measure.session import QuerySession
 from repro.services.frontend import FrontEndServer
 from repro.sim.process import Sleep, spawn
+from repro.sim.replay import (
+    ReplayCache,
+    ReplayStats,
+    SessionReplayManager,
+    SubmissionSchedule,
+    replay_cache_enabled,
+)
 from repro.testbed.scenario import Scenario
 from repro.testbed.vantage import VantagePoint
 
@@ -38,6 +45,8 @@ class DatasetA:
     #: (vp_name, service) -> (fe_name, rtt_seconds)
     default_fe: Dict[Tuple[str, str], Tuple[str, float]] = \
         field(default_factory=dict)
+    #: Session-replay cache accounting, or None when the cache was off.
+    replay: Optional[ReplayStats] = None
 
     def for_service(self, service: str) -> List[QuerySession]:
         return [s for s in self.sessions if s.service == service]
@@ -56,9 +65,34 @@ class DatasetB:
     service: str
     fe_name: str
     sessions: List[QuerySession] = field(default_factory=list)
+    #: Session-replay cache accounting, or None when the cache was off.
+    replay: Optional[ReplayStats] = None
 
     def for_vp(self, vp_name: str) -> List[QuerySession]:
         return [s for s in self.sessions if s.vp_name == vp_name]
+
+
+def _replay_manager(scenario: Scenario, schedule: SubmissionSchedule,
+                    replay_cache, store_payload: bool,
+                    run_timeout: Optional[float]
+                    ) -> Optional[SessionReplayManager]:
+    """Resolve a driver's ``replay_cache`` argument into a manager.
+
+    ``None`` follows the ``REPRO_REPLAY_CACHE`` env default, ``False``
+    disables the cache, ``True`` forces a fresh per-campaign cache, and
+    a :class:`ReplayCache` instance is used as-is (letting successive
+    campaigns on the *same scenario* share warmed timelines).
+    """
+    if replay_cache is False:
+        return None
+    cache: Optional[ReplayCache] = None
+    if isinstance(replay_cache, ReplayCache):
+        cache = replay_cache
+    elif replay_cache is None and not replay_cache_enabled():
+        return None
+    return SessionReplayManager(scenario, schedule, cache=cache,
+                                store_payload=store_payload,
+                                run_timeout=run_timeout)
 
 
 def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
@@ -67,12 +101,18 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
                   services: Optional[Sequence[str]] = None,
                   vantage_points: Optional[Sequence[VantagePoint]] = None,
                   store_payload: bool = False,
-                  run_timeout: Optional[float] = None) -> DatasetA:
+                  run_timeout: Optional[float] = None,
+                  replay_cache=None) -> DatasetA:
     """Run the default-FE campaign and return its sessions.
 
     Each vantage point issues ``repeats`` rounds; in every round it sends
     one query per service (cycling through ``keywords``), then sleeps
     ``interval`` seconds.
+
+    ``replay_cache`` controls the session-replay cache (see
+    :mod:`repro.sim.replay` and :func:`_replay_manager`); the default
+    follows the ``REPRO_REPLAY_CACHE`` environment variable.  The cache
+    changes no observable output, only wall-clock time.
     """
     if not keywords:
         raise ValueError("need at least one keyword")
@@ -81,6 +121,11 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
     dataset = DatasetA()
     emulators = []
     staggers = _fleet_staggers(scenario, vps, interval)
+    manager = _replay_manager(
+        scenario,
+        _dataset_a_schedule(scenario, vps, services, repeats, interval,
+                            staggers),
+        replay_cache, store_payload, run_timeout)
 
     for vp in vps:
         emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
@@ -93,12 +138,36 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
                 (frontend.node.name, rtt)
         spawn(scenario.sim,
               _vp_loop(scenario, emulator, frontends, keywords,
-                       repeats, interval, staggers[vp.name]))
+                       repeats, interval, staggers[vp.name], manager))
 
     scenario.sim.run(until=run_timeout)
     for emulator in emulators:
         dataset.sessions.extend(emulator.sessions)
+    if manager is not None:
+        dataset.replay = manager.finalize()
     return dataset
+
+
+def _dataset_a_schedule(scenario: Scenario, vps: Sequence[VantagePoint],
+                        services: Sequence[str], repeats: int,
+                        interval: float,
+                        staggers: Dict[str, float]) -> SubmissionSchedule:
+    """Planned per-FE submission times of a Dataset-A run.
+
+    Replicates :func:`_vp_loop`'s float arithmetic exactly (stagger,
+    then repeated ``t + interval``): the replay manager compares these
+    times for equality against ``sim.now``.
+    """
+    schedule = SubmissionSchedule()
+    for vp in vps:
+        fe_names = [scenario.default_frontend(name, vp).node.name
+                    for name in services]
+        time = staggers[vp.name] if staggers[vp.name] > 0 else 0.0
+        for _ in range(repeats):
+            for fe_name in fe_names:
+                schedule.add(fe_name, time)
+            time = time + interval
+    return schedule.freeze()
 
 
 def _fleet_staggers(scenario: Scenario, vps: Sequence[VantagePoint],
@@ -126,14 +195,18 @@ def _fleet_staggers(scenario: Scenario, vps: Sequence[VantagePoint],
 def _vp_loop(scenario: Scenario, emulator: QueryEmulator,
              frontends: Dict[str, FrontEndServer],
              keywords: Sequence[Keyword], repeats: int,
-             interval: float, stagger: float):
+             interval: float, stagger: float,
+             manager: Optional[SessionReplayManager] = None):
     """Per-vantage-point query loop (a simulator process)."""
     if stagger > 0:
         yield Sleep(stagger)
     for round_index in range(repeats):
         keyword = keywords[round_index % len(keywords)]
         for service_name, frontend in frontends.items():
-            emulator.submit(service_name, frontend, keyword)
+            if manager is not None:
+                manager.submit(emulator, service_name, frontend, keyword)
+            else:
+                emulator.submit(service_name, frontend, keyword)
         yield Sleep(interval)
 
 
@@ -143,35 +216,65 @@ def run_dataset_b(scenario: Scenario, service_name: str,
                   interval: float = 10.0,
                   vantage_points: Optional[Sequence[VantagePoint]] = None,
                   store_payload: bool = False,
-                  run_timeout: Optional[float] = None) -> DatasetB:
-    """Run the fixed-FE campaign for one service and return its sessions."""
+                  run_timeout: Optional[float] = None,
+                  replay_cache=None) -> DatasetB:
+    """Run the fixed-FE campaign for one service and return its sessions.
+
+    ``replay_cache`` works as in :func:`run_dataset_a`.
+    """
     vps = list(vantage_points or scenario.vantage_points)
     service = scenario.service(service_name)
     dataset = DatasetB(service=service_name, fe_name=frontend.node.name)
     emulators = []
 
     staggers = _fleet_staggers(scenario, vps, interval)
+    manager = _replay_manager(
+        scenario,
+        _dataset_b_schedule(frontend, vps, repeats, interval, staggers),
+        replay_cache, store_payload, run_timeout)
     for vp in vps:
         scenario.link_client_to_frontend(vp, frontend, service)
         emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
         emulators.append(emulator)
         spawn(scenario.sim,
               _fixed_fe_loop(emulator, service_name, frontend, keyword,
-                             repeats, interval, staggers[vp.name]))
+                             repeats, interval, staggers[vp.name],
+                             manager))
 
     scenario.sim.run(until=run_timeout)
     for emulator in emulators:
         dataset.sessions.extend(emulator.sessions)
+    if manager is not None:
+        dataset.replay = manager.finalize()
     return dataset
+
+
+def _dataset_b_schedule(frontend: FrontEndServer,
+                        vps: Sequence[VantagePoint], repeats: int,
+                        interval: float,
+                        staggers: Dict[str, float]) -> SubmissionSchedule:
+    """Planned submission times of a Dataset-B run (one shared FE)."""
+    schedule = SubmissionSchedule()
+    fe_name = frontend.node.name
+    for vp in vps:
+        time = staggers[vp.name] if staggers[vp.name] > 0 else 0.0
+        for _ in range(repeats):
+            schedule.add(fe_name, time)
+            time = time + interval
+    return schedule.freeze()
 
 
 def _fixed_fe_loop(emulator: QueryEmulator, service_name: str,
                    frontend: FrontEndServer, keyword: Keyword,
-                   repeats: int, interval: float, stagger: float):
+                   repeats: int, interval: float, stagger: float,
+                   manager: Optional[SessionReplayManager] = None):
     if stagger > 0:
         yield Sleep(stagger)
     for _ in range(repeats):
-        emulator.submit(service_name, frontend, keyword)
+        if manager is not None:
+            manager.submit(emulator, service_name, frontend, keyword)
+        else:
+            emulator.submit(service_name, frontend, keyword)
         yield Sleep(interval)
 
 

@@ -47,6 +47,17 @@ class QueryEmulator:
         self._counter += 1
         return _QUERY_ID_TEMPLATE % (self.vp.name, self._counter)
 
+    def peek_query_id(self) -> str:
+        """The id :meth:`next_query_id` will return next, without
+        consuming it.
+
+        The session-replay cache fingerprints a submission *before*
+        deciding whether to simulate it, and the fingerprint includes
+        query-id-keyed service draws — so it must know the id the
+        emulator is about to assign.
+        """
+        return _QUERY_ID_TEMPLATE % (self.vp.name, self._counter + 1)
+
     def submit(self, service_name: str, frontend: FrontEndServer,
                keyword: Keyword,
                query_id: Optional[str] = None) -> QuerySession:

@@ -54,6 +54,9 @@ class _DatasetAShard:
     services: Optional[Tuple[str, ...]]
     store_payload: bool
     run_timeout: Optional[float]
+    #: None (env default) or a bool; each worker builds its own private
+    #: per-shard ReplayCache, so cache objects never cross processes.
+    replay_cache: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -69,6 +72,7 @@ class _DatasetBShard:
     interval: float
     store_payload: bool
     run_timeout: Optional[float]
+    replay_cache: Optional[bool] = None
 
 
 def _select_vps(scenario: Scenario, names: Sequence[str]):
@@ -84,7 +88,8 @@ def _run_dataset_a_shard(shard: _DatasetAShard) -> DatasetA:
         services=list(shard.services) if shard.services else None,
         vantage_points=_select_vps(scenario, shard.vp_names),
         store_payload=shard.store_payload,
-        run_timeout=shard.run_timeout)
+        run_timeout=shard.run_timeout,
+        replay_cache=shard.replay_cache)
 
 
 def _run_dataset_b_shard(shard: _DatasetBShard) -> DatasetB:
@@ -96,16 +101,32 @@ def _run_dataset_b_shard(shard: _DatasetBShard) -> DatasetB:
         repeats=shard.repeats, interval=shard.interval,
         vantage_points=_select_vps(scenario, shard.vp_names),
         store_payload=shard.store_payload,
-        run_timeout=shard.run_timeout)
+        run_timeout=shard.run_timeout,
+        replay_cache=shard.replay_cache)
+
+
+def _merged_replay_stats(results: Sequence[object]):
+    """Sum per-shard replay stats (None when every shard had cache off).
+
+    Per-shard caches are correctness-preserving without coordination:
+    a shard records and replays only its own sessions, each of which is
+    bit-identical to its simulated counterpart, so the merged dataset
+    equals the serial run regardless of which shard got which hit.
+    """
+    stats = [result.replay for result in results
+             if result.replay is not None]
+    if not stats:
+        return None
+    return sum(stats)
 
 
 def _check_default_profiles(scenario: Scenario) -> None:
-    from repro.services.deployment import (
-        bing_akamai_profile,
-        google_like_profile,
-    )
-    defaults = {p.name: p for p in (google_like_profile(),
-                                    bing_akamai_profile())}
+    from repro.testbed.scenario import scenario_profiles
+
+    # Compare against the profiles a worker rebuilding from the config
+    # would construct — config-level transforms (deterministic_services)
+    # are shardable, hand-passed custom profiles are not.
+    defaults = scenario_profiles(scenario.config)
     for name, deployment in scenario.services.items():
         if defaults.get(name) != deployment.profile:
             raise ValueError(
@@ -145,13 +166,17 @@ def run_dataset_a_sharded(scenario: Scenario,
                           shards: int = 2,
                           processes: int = 0,
                           store_payload: bool = False,
-                          run_timeout: Optional[float] = None) -> DatasetA:
+                          run_timeout: Optional[float] = None,
+                          replay_cache: Optional[bool] = None) -> DatasetA:
     """Sharded :func:`~repro.measure.driver.run_dataset_a`.
 
     ``scenario`` is used only to partition the fleet and to carry the
     config; it is *not* run (workers rebuild their own copy).  The
     partition keeps FE-sharing vantage points together, which makes the
     merged dataset bit-identical to the serial run for the same seed.
+
+    ``replay_cache`` (None = env default, or a bool) is forwarded to
+    every worker; each builds its own per-shard cache.
     """
     _check_shardable(scenario)
     service_names = tuple(services or scenario.services)
@@ -164,11 +189,13 @@ def run_dataset_a_sharded(scenario: Scenario,
                        repeats=repeats, interval=interval,
                        services=service_names,
                        store_payload=store_payload,
-                       run_timeout=run_timeout)
+                       run_timeout=run_timeout,
+                       replay_cache=replay_cache)
         for part in partition]
     results = map_shards(_run_dataset_a_shard, shard_specs, processes)
 
     merged = DatasetA()
+    merged.replay = _merged_replay_stats(results)
     merged.sessions = _sessions_in_fleet_order(scenario, results)
     default_fe: Dict[Tuple[str, str], Tuple[str, float]] = {}
     for result in results:
@@ -190,7 +217,8 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
                           shards: int = 2,
                           processes: int = 0,
                           store_payload: bool = False,
-                          run_timeout: Optional[float] = None) -> DatasetB:
+                          run_timeout: Optional[float] = None,
+                          replay_cache: Optional[bool] = None) -> DatasetB:
     """Sharded :func:`~repro.measure.driver.run_dataset_b`.
 
     Every Dataset-B vantage point targets the *same* fixed front-end,
@@ -212,10 +240,12 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
                        vp_names=tuple(vp.name for vp in part),
                        repeats=repeats, interval=interval,
                        store_payload=store_payload,
-                       run_timeout=run_timeout)
+                       run_timeout=run_timeout,
+                       replay_cache=replay_cache)
         for part in partition]
     results = map_shards(_run_dataset_b_shard, shard_specs, processes)
 
     merged = DatasetB(service=service_name, fe_name=resolved)
+    merged.replay = _merged_replay_stats(results)
     merged.sessions = _sessions_in_fleet_order(scenario, results)
     return merged

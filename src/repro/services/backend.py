@@ -124,6 +124,26 @@ class BackendDataCenter:
         self.sim.schedule(tproc, self._respond, responder, keyword,
                           record, include_static)
 
+    def record_replayed_query(self, query_id: str, keyword_text: str,
+                              arrival_time: float, tproc: float,
+                              response_size: int,
+                              completed_time: float) -> None:
+        """Reproduce the ground-truth footprint of one replayed query.
+
+        Counterpart of
+        :meth:`repro.services.frontend.FrontEndServer.record_replayed_fetch`
+        for the back-end side: the session-replay cache calls this
+        instead of driving the FE-BE fetch packet by packet.
+        """
+        self.query_log[query_id] = QueryRecord(
+            query_id=query_id, keyword_text=keyword_text,
+            arrival_time=arrival_time, tproc=tproc,
+            response_size=response_size, completed_time=completed_time)
+        self.queries_served += 1
+        # The fetch rides a pre-existing persistent pool connection, so
+        # only the request counter moves — never connections_accepted.
+        self.server.requests_served += 1
+
     def _respond(self, responder: Responder, keyword: Keyword,
                  record: QueryRecord, include_static: bool) -> None:
         body = self.pages.dynamic_content(keyword)

@@ -191,6 +191,28 @@ class FrontEndServer:
             # Ablation: no FE cache -- everything waits for the back-end.
             self.sim.schedule(delay, self._forward, request, state, True)
 
+    def record_replayed_fetch(self, query_id: str, forwarded_at: float,
+                              completed_at: float,
+                              response_size: int) -> None:
+        """Reproduce the server-side footprint of one replayed request.
+
+        The session-replay cache (:mod:`repro.sim.replay`) skips the
+        packet-level simulation of an admitted session but must leave
+        the same ground-truth trail: the fetch-log record and the
+        request counters.  Admission guarantees the session ran alone on
+        this FE, so concurrency bookkeeping reduces to "one request".
+        """
+        self.requests_served += 1
+        self.peak_concurrency = max(self.peak_concurrency, 1)
+        self.server.requests_served += 1
+        self.server.connections_accepted += 1
+        self.fetch_log[query_id] = FetchRecord(
+            query_id=query_id, forwarded_at=forwarded_at,
+            completed_at=completed_at, response_size=response_size)
+        # With the pool idle (guaranteed by admission), the real run
+        # would have routed the fetch to the least-loaded client.
+        self._pick_backend_client().requests_completed += 1
+
     def _write_static(self, state: _RequestState) -> None:
         if state.failed:
             return

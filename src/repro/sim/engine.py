@@ -172,6 +172,41 @@ class Simulator:
         _heappush(self._queue, entry)
         return entry
 
+    def schedule_timeline(self, start: float,
+                          timeline) -> List[EventHandle]:
+        """Bulk-inject a pre-computed event timeline shifted to ``start``.
+
+        ``timeline`` is an iterable of ``(offset, callback, args)``
+        tuples; each event fires at the absolute time ``start + offset``
+        (``offset`` >= 0, in seconds).  Events are enqueued in iteration
+        order, so same-time entries keep the timeline's relative order
+        against each other — though not against events already pending
+        for the same instant, which hold earlier sequence numbers.
+
+        This is the injection primitive of the session-replay cache
+        (:mod:`repro.sim.replay`): a cached session timeline recorded
+        relative to one start time is replayed against another with a
+        single call instead of re-simulating the packet exchange.
+        Returns the event handles in timeline order.
+        """
+        handles: List[EventHandle] = []
+        now = self._now
+        for offset, callback, args in timeline:
+            time = start + offset
+            if time < now:
+                raise SchedulingError(
+                    "timeline event at t=%r is in the past (clock at "
+                    "t=%r)" % (time, now))
+            if not callable(callback):
+                raise TypeError("callback must be callable, got %r"
+                                % (callback,))
+            seq = self._seq
+            self._seq = seq + 1
+            entry = [time, seq, callback, tuple(args), _PENDING]
+            _heappush(self._queue, entry)
+            handles.append(entry)
+        return handles
+
     def cancel(self, handle: EventHandle) -> bool:
         """Prevent a scheduled event from firing.
 

@@ -38,6 +38,16 @@ class RandomStreams:
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._streams: Dict[str, random.Random] = {}
+        #: Count of draw events made through this registry's helpers:
+        #: one per variate drawn from a shared stream (:meth:`uniform`,
+        #: :meth:`lognormal`, a non-short-circuited :meth:`bernoulli`)
+        #: and one per :meth:`keyed` generator created (each keyed
+        #: generator backs exactly one logical draw).  Draws made on a
+        #: generator obtained via :meth:`get` are not counted — the
+        #: counter tracks the registry API, which is what the
+        #: session-replay cache's determinism contract is stated over
+        #: (see ``repro.sim.replay``).
+        self.draws_consumed = 0
 
     def get(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
@@ -61,6 +71,7 @@ class RandomStreams:
         draws no matter which process executes it or in which order
         queries arrive.
         """
+        self.draws_consumed += 1
         return random.Random(derive_seed(self.seed, name + "#" + key))
 
     def spawn(self, name: str) -> "RandomStreams":
@@ -72,10 +83,12 @@ class RandomStreams:
         return RandomStreams(derive_seed(self.seed, "spawn/" + name))
 
     def uniform(self, name: str, low: float, high: float) -> float:
+        self.draws_consumed += 1
         return self.get(name).uniform(low, high)
 
     def lognormal(self, name: str, mu: float, sigma: float) -> float:
         """Draw from a lognormal; ``mu``/``sigma`` are of the underlying normal."""
+        self.draws_consumed += 1
         return self.get(name).lognormvariate(mu, sigma)
 
     def bernoulli(self, name: str, probability: float) -> bool:
@@ -91,4 +104,5 @@ class RandomStreams:
             return False
         if probability == 1.0:
             return True
+        self.draws_consumed += 1
         return self.get(name).random() < probability

@@ -1,0 +1,141 @@
+"""Admission control for the session-replay cache.
+
+A session may be recorded or replayed only when its packet timeline
+provably depends on nothing outside the cache key.  The checks split
+into three layers, evaluated cheapest-first:
+
+* **campaign-level** — properties of the whole driver run (draw keying,
+  payload retention, run timeouts) that either hold for every
+  submission or for none;
+* **path-level** — properties of one ``(service, FE, VP)`` triple
+  (congestion model, link loss/jitter/faults, FE result cache) that are
+  constant across a campaign and therefore cached per triple;
+* **temporal** — properties of one submission instant (cross-traffic on
+  the front-end, start-time binade), evaluated per query by the
+  manager against a :class:`SubmissionSchedule`.
+
+Every helper returns ``None`` for "admissible" or a short reason string
+that becomes a bypass-counter key in
+:class:`~repro.sim.replay.cache.ReplayStats`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional
+
+
+class SubmissionSchedule:
+    """The a-priori submission times of a campaign, per front-end.
+
+    Campaign drivers know every query's start instant before the
+    simulation runs (stagger plus round arithmetic), which is what makes
+    *forward-looking* isolation checks possible: a session may be
+    replayed only if no other query will touch its front-end until the
+    replayed timeline (plus guard) has fully played out.  The builder
+    must replicate the driver loop's float arithmetic exactly —
+    schedule times are compared for equality against ``sim.now``.
+    """
+
+    def __init__(self):
+        self._times: Dict[str, List[float]] = {}
+        self._frozen = False
+
+    def add(self, fe_name: str, time: float) -> None:
+        """Record one planned submission to ``fe_name`` at ``time``."""
+        if self._frozen:
+            raise RuntimeError("schedule is frozen")
+        self._times.setdefault(fe_name, []).append(time)
+
+    def freeze(self) -> "SubmissionSchedule":
+        """Sort and seal the schedule; returns self for chaining."""
+        for times in self._times.values():
+            times.sort()
+        self._frozen = True
+        return self
+
+    def count_at(self, fe_name: str, time: float) -> int:
+        """How many submissions hit ``fe_name`` at exactly ``time``."""
+        times = self._times.get(fe_name)
+        if not times:
+            return 0
+        return bisect_right(times, time) - bisect_left(times, time)
+
+    def next_after(self, fe_name: str, time: float) -> float:
+        """First submission to ``fe_name`` strictly after ``time``
+        (``inf`` when there is none)."""
+        times = self._times.get(fe_name)
+        if not times:
+            return float("inf")
+        index = bisect_right(times, time)
+        if index >= len(times):
+            return float("inf")
+        return times[index]
+
+
+def campaign_bypass_reason(scenario, store_payload: bool,
+                           run_timeout: Optional[float]) -> Optional[str]:
+    """Why an entire campaign run cannot use the replay cache.
+
+    * ``unkeyed-draws`` — with shared sequential service streams, a
+      query's FE-load/Tproc draws depend on the global arrival order,
+      so skipping a simulation would shift every later draw.
+    * ``store-payload`` — recorded timelines drop packet payload bytes;
+      replaying them under ``store_payload=True`` would lose data.
+    * ``run-timeout`` — a truncated run can cut sessions off mid-flight,
+      and a replayed session past the deadline would misreport state.
+    """
+    if not scenario.config.keyed_service_draws:
+        return "unkeyed-draws"
+    if store_payload:
+        return "store-payload"
+    if run_timeout is not None:
+        return "run-timeout"
+    return None
+
+
+#: Node pairs whose direct links a session's packets traverse:
+#: client<->FE and FE<->BE, both directions.
+def _path_links(topology, vp_name: str, fe_name: str, be_name: str):
+    for src, dst in ((vp_name, fe_name), (fe_name, vp_name),
+                     (fe_name, be_name), (be_name, fe_name)):
+        yield topology.node(src).links.get(dst)
+
+
+def path_bypass_reason(scenario, service_name: str, frontend,
+                       vp_name: str) -> Optional[str]:
+    """Why a ``(service, FE, VP)`` triple cannot be cached.
+
+    The triple's links and TCP configs are fixed for the lifetime of a
+    scenario, so the manager caches this verdict per triple.  The
+    client->FE link must already exist (drivers link before submitting).
+    """
+    if frontend.cache_results:
+        # The FE result cache makes a session's bytes depend on every
+        # *earlier* query for the same keyword — history the key can't
+        # capture.
+        return "cache-results"
+    deployment = scenario.service(service_name)
+    profile = deployment.profile
+    if profile.backend_window_bytes is None:
+        # Without the pinned fixed-window controller the warm FE-BE
+        # leg's cwnd carries history from previous fetches.
+        return "backend-window"
+    if scenario.config.client_tcp.congestion != "reno" \
+            or profile.edge_tcp.congestion != "reno":
+        # Cubic's window growth is a function of wall-clock time since
+        # the last loss, which breaks the time-shift-exactness argument
+        # even on loss-free paths.
+        return "congestion-model"
+    backend = deployment.backend_for_frontend(frontend)
+    for link in _path_links(scenario.topology, vp_name,
+                            frontend.node.name, backend.node.name):
+        if link is None:
+            return "no-direct-link"
+        if link.loss_rate != 0.0:
+            return "lossy-path"
+        if link.jitter != 0.0:
+            return "jittery-path"
+        if link.fault_filter is not None:
+            return "fault-injection"
+    return None

@@ -1,0 +1,125 @@
+"""The replay cache proper: bounded LRU storage plus counters.
+
+The cache maps session fingerprints (see
+:mod:`repro.sim.replay.fingerprint`) to recorded timelines.  It is
+strictly per-scenario — fingerprints stand in for path and config
+parameters that are only functions of identity *within* one scenario —
+and binds itself to the first scenario it is used with.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.replay.timeline import RecordedTimeline
+
+
+@dataclass
+class ReplayStats:
+    """Replay-cache accounting for one campaign run.
+
+    Picklable and summable: sharded campaigns return one instance per
+    worker and merge them with ``sum(...)``.  Every submission lands in
+    exactly one of ``hits`` (timeline replayed, no simulation),
+    ``misses`` (simulated through an admissible path — recorded or used
+    to validate an existing entry), or one ``bypasses`` bucket
+    (simulated because an admission rule failed).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    #: Sessions whose timeline entered the cache (unvalidated).
+    recorded: int = 0
+    #: First-reuse comparisons that matched and promoted an entry.
+    validations: int = 0
+    #: First-reuse comparisons that did NOT match (entry demoted).
+    validation_failures: int = 0
+    evictions: int = 0
+    #: Reason -> count for submissions admission turned away.
+    bypasses: Dict[str, int] = field(default_factory=dict)
+
+    def bypass(self, reason: str) -> None:
+        self.bypasses[reason] = self.bypasses.get(reason, 0) + 1
+
+    @property
+    def bypassed(self) -> int:
+        return sum(self.bypasses.values())
+
+    @property
+    def submissions(self) -> int:
+        return self.hits + self.misses + self.bypassed
+
+    def __add__(self, other: "ReplayStats") -> "ReplayStats":
+        if not isinstance(other, ReplayStats):
+            return NotImplemented
+        merged_bypasses = dict(self.bypasses)
+        for reason, count in other.bypasses.items():
+            merged_bypasses[reason] = merged_bypasses.get(reason, 0) + count
+        return ReplayStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            recorded=self.recorded + other.recorded,
+            validations=self.validations + other.validations,
+            validation_failures=(self.validation_failures
+                                 + other.validation_failures),
+            evictions=self.evictions + other.evictions,
+            bypasses=merged_bypasses)
+
+    def __radd__(self, other):
+        # Lets shard results merge with a plain sum(stats_list).
+        if other == 0:
+            return self
+        return NotImplemented
+
+
+class ReplayCache:
+    """Bounded LRU store of recorded session timelines.
+
+    Capacity is counted in entries; a Dataset-A campaign produces at
+    most one entry per distinct (service, FE, VP, keyword, binade,
+    draws) tuple, so the default comfortably covers the paper-scale
+    campaigns while bounding memory on pathological keyword sets.
+    """
+
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %r" % (capacity,))
+        self.capacity = capacity
+        self.evictions = 0
+        self._entries: "OrderedDict[tuple, RecordedTimeline]" = OrderedDict()
+        self._scenario = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def bind(self, scenario) -> None:
+        """Tie this cache to a scenario; reuse across scenarios is an
+        error (fingerprints are only unambiguous within one)."""
+        if self._scenario is None:
+            self._scenario = scenario
+        elif self._scenario is not scenario:
+            raise ValueError(
+                "replay cache is bound to a different scenario; session "
+                "fingerprints are not comparable across scenarios -- "
+                "use a fresh ReplayCache per scenario")
+
+    def get(self, key: tuple) -> Optional[RecordedTimeline]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, timeline: RecordedTimeline) -> None:
+        self._entries[key] = timeline
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def pop(self, key: tuple) -> None:
+        """Drop an entry (validation failure on a failed session)."""
+        self._entries.pop(key, None)

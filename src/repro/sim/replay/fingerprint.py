@@ -1,0 +1,88 @@
+"""Session fingerprints: the replay-cache key and its float-exactness
+window.
+
+The key of a cached session timeline is everything the packet schedule
+can depend on *within one campaign*:
+
+* identity — ``(service, FE, VP)`` pins the path (per-pair dedicated
+  links, so RTT/bandwidth/MTU are functions of the pair), the TCP
+  configs, and the page profile;
+* content — the :class:`~repro.content.keywords.Keyword` pins the
+  static/dynamic byte sizes (page generation is deterministic);
+* draws — the per-query keyed service draws (FE load delay, back-end
+  Tproc) are *predicted* from the query id and included as values, so a
+  scenario with nonzero sigmas simply never repeats a key instead of
+  replaying a wrong timeline;
+* time — the binade (floating-point exponent) of the start time.
+
+Why the binade?  All event times of a session starting at ``t0`` inside
+the binade ``[2^k, 2^(k+1))`` are multiples of that binade's ulp as long
+as the whole session window stays inside it.  Shifting the timeline to
+another start time ``t0'`` in the *same* binade adds an exactly
+representable delta to every event time, and every float operation the
+full simulation would perform at ``t0'`` lands on exactly the shifted
+values (the arithmetic only ever combines same-grid quantities and
+time *differences*, which are unchanged).  Across binades the time grid
+coarsens and rounding can diverge, so the binade is part of the key and
+window fit is an admission requirement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.content.keywords import Keyword
+from repro.sim.randomness import RandomStreams
+
+
+def binade(value: float) -> int:
+    """The binary exponent of a positive float (its binade index)."""
+    return math.frexp(value)[1]
+
+
+def window_fits(start: float, end: float) -> bool:
+    """True when ``[start, end]`` lies inside one positive binade.
+
+    This is the exactness condition for time-shifted replay: within one
+    binade every representable time is a multiple of the binade's ulp,
+    so shifting by a same-binade delta is lossless.
+    """
+    return start > 0.0 and end > 0.0 and binade(start) == binade(end)
+
+
+def predicted_service_draws(scenario, service_name: str, frontend,
+                            keyword: Keyword,
+                            query_id: str) -> Tuple[float, float]:
+    """The keyed (FE load delay, Tproc) values this query will draw.
+
+    Keyed draws depend only on the root seed and the query id, so a
+    *shadow* :class:`RandomStreams` with the campaign's seed reproduces
+    them exactly — without touching the campaign registry's streams or
+    its ``draws_consumed`` counter.  Predicted at ``concurrency=1``:
+    admission guarantees an admitted session runs alone on its FE, and
+    a recorded-under-load session would simply never match a prediction
+    (a safe miss, never a wrong hit).
+    """
+    shadow = RandomStreams(scenario.streams.seed)
+    deployment = scenario.service(service_name)
+    load_delay = frontend.load_model.draw(
+        shadow, "fe-load/%s" % frontend.node.name,
+        concurrency=1, key=query_id)
+    tproc = deployment.profile.processing.draw(
+        keyword, shadow, "tproc/%s" % service_name, key=query_id)
+    return load_delay, tproc
+
+
+def session_key(scenario, service_name: str, frontend, vp_name: str,
+                keyword: Keyword, query_id: str, start: float) -> tuple:
+    """The replay-cache key for one submission.
+
+    Valid only within one campaign on one scenario (the identity fields
+    stand in for the path/config parameters they determine there); the
+    cache binds itself to a scenario to enforce that.
+    """
+    load_delay, tproc = predicted_service_draws(
+        scenario, service_name, frontend, keyword, query_id)
+    return (service_name, frontend.node.name, vp_name, keyword,
+            binade(start), load_delay, tproc)

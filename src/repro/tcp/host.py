@@ -26,6 +26,12 @@ from repro.tcp.segment import Segment
 
 AppFactory = Callable[[], TcpApp]
 
+#: Initial sequence numbers are drawn modulo this space.  Kept well
+#: below 2**32 so tests can do signed arithmetic on raw sequence
+#: numbers without wraparound; exported for the session-replay cache,
+#: which re-derives per-flow ISNs when materializing a cached timeline.
+ISN_SPACE = 1 << 24
+
 
 class TcpHost:
     """The TCP stack of a single simulated host."""
@@ -84,6 +90,17 @@ class TcpHost:
     def _flow_index(flow: FlowKey) -> tuple:
         return (flow.local.port, flow.remote.host, flow.remote.port)
 
+    def reserve_port(self) -> int:
+        """Allocate (and consume) the next ephemeral port without opening
+        a connection.
+
+        The session-replay cache uses this to keep port-allocation order
+        identical between a replayed session and the full simulation it
+        stands in for: a replay burns exactly the one ephemeral port the
+        simulated connection would have bound.
+        """
+        return self._ports.allocate()
+
     def forget(self, conn: Connection) -> None:
         """Release a closed connection's flow state and ephemeral port."""
         self.connections.pop(conn.flow, None)
@@ -125,4 +142,4 @@ class TcpHost:
     def next_isn(self, flow: FlowKey) -> int:
         """Deterministic per-flow initial sequence number."""
         seed = derive_seed(self.streams.seed, "isn/%s" % flow)
-        return seed % (1 << 24)
+        return seed % ISN_SPACE

@@ -13,7 +13,7 @@ and are deterministic: re-requesting the same pair is a no-op.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.topology import Topology
@@ -59,10 +59,47 @@ class ScenarioConfig:
     #: global arrival order, which is what lets sharded campaign runs
     #: reproduce serial ones bit-for-bit (see ``repro.parallel``).
     keyed_service_draws: bool = False
+    #: When True, the service profiles are made noise-free: FE load and
+    #: BE processing sigmas drop to 0 and the FE-BE paths lose their
+    #: loss/jitter.  Useful for performance work — in particular it is
+    #: the mode where the session-replay cache (``repro.sim.replay``)
+    #: gets hits, since every repeated (VP, FE, keyword) submission then
+    #: shares one deterministic timeline.  Marginal delay values shift
+    #: to the profile medians, so results are *not* comparable to the
+    #: stochastic defaults.
+    deterministic_services: bool = False
 
     def __post_init__(self):
         if not 0.0 <= self.dns_variance <= 1.0:
             raise ValueError("dns_variance must be in [0, 1]")
+
+
+def deterministic_profile(profile: ServiceProfile) -> ServiceProfile:
+    """Strip every stochastic element from a service profile.
+
+    Load and processing delays collapse to their deterministic
+    components (sigma=0) and the FE-BE path loses loss and jitter; all
+    structural parameters (sizes, bandwidths, pools, TCP configs) are
+    untouched.
+    """
+    return profile.with_overrides(
+        processing=replace(profile.processing, sigma=0.0),
+        fe_load=replace(profile.fe_load, sigma=0.0),
+        fe_be_loss=0.0,
+        fe_be_jitter=0.0)
+
+
+def scenario_profiles(config: ScenarioConfig) -> Dict[str, ServiceProfile]:
+    """The service profiles a config-built :class:`Scenario` will use.
+
+    Shared with :mod:`repro.parallel.campaigns`, whose shardability
+    check must accept exactly the profiles a worker process rebuilding
+    the scenario from this config would construct.
+    """
+    profiles = [google_like_profile(), bing_akamai_profile()]
+    if config.deterministic_services:
+        profiles = [deterministic_profile(p) for p in profiles]
+    return {p.name: p for p in profiles}
 
 
 class Scenario:
@@ -79,8 +116,9 @@ class Scenario:
         self.streams = RandomStreams(self.config.seed)
         self.topology = Topology(self.sim, self.streams)
 
-        google_profile = google_profile or google_like_profile()
-        bing_profile = bing_profile or bing_akamai_profile()
+        default_profiles = scenario_profiles(self.config)
+        google_profile = google_profile or default_profiles[self.GOOGLE]
+        bing_profile = bing_profile or default_profiles[self.BING]
         self.services: Dict[str, ServiceDeployment] = {
             google_profile.name: ServiceDeployment(
                 self.sim, self.topology, self.streams, google_profile,
