@@ -129,3 +129,30 @@ def test_bench_dataset_a_campaign_replay_cached(benchmark):
     assert all(s.complete for s in dataset.sessions)
     assert dataset.replay is not None
     assert dataset.replay.hits > len(dataset.sessions) // 2
+
+
+def test_bench_dataset_a_campaign_traced(benchmark):
+    """The cache-off campaign with observability (repro.obs) ENABLED.
+
+    Pairs with ``test_bench_dataset_a_campaign_simulated`` (same
+    campaign, tracing off): their ratio is the full cost of tracing —
+    the guarded hot-path counters plus the post-hoc span build and
+    campaign metrics.  The disabled cost is separately bounded by the
+    engine/TCP benchmarks above staying flat across PRs.
+    """
+    from repro import obs
+
+    def traced():
+        obs.reset()
+        dataset = _dataset_a_campaign(False)
+        return dataset
+
+    obs.enable()
+    try:
+        dataset = benchmark(traced)
+    finally:
+        obs.disable()
+        obs.reset()
+    assert len(dataset.sessions) == 120
+    assert dataset.trace is not None and len(dataset.trace) == 120
+    assert dataset.obs_metrics.counters["fe.requests"] == 120

@@ -11,6 +11,8 @@ Usage::
     python -m repro --jobs 4            # experiments in parallel
     python -m repro fig678 --shards 4   # shard the Dataset-A campaign
     python -m repro lint src/repro      # static analysis (simlint)
+    python -m repro fig678 --trace t.jsonl --metrics   # observability
+    python -m repro report t.jsonl      # summarize a trace export
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import os
 import sys
 import time
 
+from repro import obs
 from repro.experiments import (
     ExperimentScale,
     run_cache_ablation,
@@ -109,8 +112,17 @@ def _experiment_worker(task):
     name, scale = task
     # Wall-clock here times the CLI itself, not the simulation.
     start = time.time()  # simlint: ignore[DET001]
+    mark = obs.fork_mark() if obs.enabled() else None
     text = EXPERIMENTS[name](scale)
-    return name, text, time.time() - start  # simlint: ignore[DET001]
+    payload = None
+    if mark is not None:
+        # Ship this experiment's trace/metric delta back to the parent
+        # (--jobs workers are separate processes; inline runs produce
+        # the same payload and the parent dedups via rollback).
+        payload = (obs.runtime.tracer.snapshot_since(mark[0]),
+                   obs.runtime.metrics.snapshot().subtract(mark[1]))
+    elapsed = time.time() - start  # simlint: ignore[DET001]
+    return name, text, elapsed, payload
 
 
 def main(argv=None) -> int:
@@ -119,6 +131,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "lint":
         from repro.lint.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.obs.report import main as report_main
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures from the simulated "
@@ -145,6 +160,20 @@ def main(argv=None) -> int:
                              "REPRO_REPLAY_CACHE=0.  The cache changes "
                              "no results, only wall-clock time (see "
                              "docs/PERFORMANCE.md)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="enable observability (repro.obs) and "
+                             "write the JSONL span/metric export here; "
+                             "equivalent to REPRO_TRACE=PATH (see "
+                             "docs/OBSERVABILITY.md)")
+    parser.add_argument("--trace-chrome", metavar="PATH",
+                        help="enable observability and write a Chrome "
+                             "trace-event JSON viewable in "
+                             "about:tracing / Perfetto")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable observability and print the "
+                             "plain-text campaign summary (span "
+                             "counts, engine/TCP/replay-cache "
+                             "metrics) after the experiments")
     args = parser.parse_args(argv)
 
     unknown = [name for name in args.experiments
@@ -160,10 +189,17 @@ def main(argv=None) -> int:
         os.environ["REPRO_CAMPAIGN_SHARDS"] = str(args.shards)
     if args.no_replay_cache:
         os.environ["REPRO_REPLAY_CACHE"] = "0"
+    trace_path = args.trace or obs.env_trace_path()
+    if args.trace or args.trace_chrome or args.metrics:
+        # Plumbed via the environment too so worker processes of any
+        # start method re-assert the flag (fork inherits it anyway).
+        os.environ.setdefault("REPRO_TRACE", "1")
+        obs.enable()
     scale = getattr(ExperimentScale, args.scale)(seed=args.seed)
     names = args.experiments or list(EXPERIMENTS)
 
     tasks = [(name, scale) for name in names]
+    obs_mark = obs.fork_mark() if obs.enabled() else None
     if args.jobs > 1:
         from repro.parallel import map_shards
         results = map_shards(_experiment_worker, tasks,
@@ -171,11 +207,29 @@ def main(argv=None) -> int:
     else:
         # Inline keeps output streaming as each experiment finishes.
         results = map(_experiment_worker, tasks)
-    for name, text, elapsed in results:
+    payloads = []
+    for name, text, elapsed, payload in results:
         print("=" * 72)
         print(text)
         print("[%s completed in %.1fs]" % (name, elapsed))
         print()
+        payloads.append(payload)
+    if obs_mark is not None:
+        # Same dedup protocol as parallel.campaigns: drop whatever was
+        # recorded live (inline runs), then absorb every worker delta.
+        obs.rollback(obs_mark)
+        for payload in payloads:
+            if payload is not None:
+                obs.absorb(payload[0], payload[1])
+        if trace_path:
+            obs.export_jsonl(trace_path)
+            print("[trace: wrote JSONL schema v1 to %s]" % trace_path)
+        if args.trace_chrome:
+            obs.export_chrome(args.trace_chrome)
+            print("[trace: wrote Chrome trace-event JSON to %s]"
+                  % args.trace_chrome)
+        if args.metrics:
+            print(obs.render_summary())
     return 0
 
 

@@ -17,6 +17,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.analysis.stats import BoxStats, box_stats, cdf_points, fraction_below
 from repro.content.keywords import KeywordCatalog
 from repro.core.compare import ComparisonReport, compare_services
@@ -124,6 +125,10 @@ def run_dataset_a_experiment(scale: Optional[ExperimentScale] = None, *,
         default_rtts[service_name] = [
             rtt for (vp, svc), (fe, rtt) in dataset.default_fe.items()
             if svc == service_name]
+        # Calibration just located the static/dynamic boundary: complete
+        # the traced session spans with t4/t5 and the static/dynamic
+        # phases (no-op when tracing is off).
+        obs.annotate_boundaries(metrics[service_name])
     return DatasetAExperiment(scale=scale, metrics=metrics,
                               default_rtts=default_rtts)
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.content.keywords import Keyword
 from repro.measure.emulator import QueryEmulator
 from repro.measure.session import QuerySession
@@ -47,6 +48,10 @@ class DatasetA:
         field(default_factory=dict)
     #: Session-replay cache accounting, or None when the cache was off.
     replay: Optional[ReplayStats] = None
+    #: Observability capture (repro.obs), set when tracing is enabled:
+    #: canonical serialized spans and the campaign's metric delta.
+    trace: Optional[list] = None
+    obs_metrics: Optional[obs.MetricsSnapshot] = None
 
     def for_service(self, service: str) -> List[QuerySession]:
         return [s for s in self.sessions if s.service == service]
@@ -67,6 +72,9 @@ class DatasetB:
     sessions: List[QuerySession] = field(default_factory=list)
     #: Session-replay cache accounting, or None when the cache was off.
     replay: Optional[ReplayStats] = None
+    #: Observability capture (repro.obs), as on :class:`DatasetA`.
+    trace: Optional[list] = None
+    obs_metrics: Optional[obs.MetricsSnapshot] = None
 
     def for_vp(self, vp_name: str) -> List[QuerySession]:
         return [s for s in self.sessions if s.vp_name == vp_name]
@@ -126,6 +134,7 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
         _dataset_a_schedule(scenario, vps, services, repeats, interval,
                             staggers),
         replay_cache, store_payload, run_timeout)
+    obs_mark = obs.campaign_begin(scenario)
 
     for vp in vps:
         emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
@@ -145,6 +154,7 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
         dataset.sessions.extend(emulator.sessions)
     if manager is not None:
         dataset.replay = manager.finalize()
+    obs.campaign_end(obs_mark, "dataset_a", scenario, dataset)
     return dataset
 
 
@@ -232,6 +242,7 @@ def run_dataset_b(scenario: Scenario, service_name: str,
         scenario,
         _dataset_b_schedule(frontend, vps, repeats, interval, staggers),
         replay_cache, store_payload, run_timeout)
+    obs_mark = obs.campaign_begin(scenario)
     for vp in vps:
         scenario.link_client_to_frontend(vp, frontend, service)
         emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
@@ -246,6 +257,7 @@ def run_dataset_b(scenario: Scenario, service_name: str,
         dataset.sessions.extend(emulator.sessions)
     if manager is not None:
         dataset.replay = manager.finalize()
+    obs.campaign_end(obs_mark, "dataset_b", scenario, dataset)
     return dataset
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.net.packet import Packet
+from repro.obs import runtime as _obs
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 
@@ -151,6 +152,8 @@ class Link:
         backlog = backlog * bandwidth if backlog > 0.0 else 0.0
         if backlog + size > self.queue_limit_bytes:
             stats.packets_dropped_queue += 1
+            if _obs.enabled:
+                _obs.metrics.inc("link.packets_dropped_queue")
             return False
 
         start = busy if busy > now else now
@@ -160,6 +163,8 @@ class Link:
         if self.fault_filter is not None and \
                 self.fault_filter(packet, offer_index):
             stats.packets_lost += 1
+            if _obs.enabled:
+                _obs.metrics.inc("link.packets_lost")
             return True
 
         if self.loss_rate and self.streams.bernoulli(
@@ -167,6 +172,8 @@ class Link:
             # The packet still occupied the wire (busy_until already
             # advanced) but never arrives.
             stats.packets_lost += 1
+            if _obs.enabled:
+                _obs.metrics.inc("link.packets_lost")
             return True
 
         arrival = tx_done + self.delay

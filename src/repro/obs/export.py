@@ -1,0 +1,169 @@
+"""Exporters: JSONL span/metric log and Chrome trace-event JSON.
+
+**JSONL schema v1** (locked by ``tests/test_obs_export.py``, the same
+way the lint CLI locks its JSON schema).  One JSON object per line:
+
+* line 1 — header: ``{"kind": "header", "schema": "repro.obs",
+  "version": 1, "span_count": N, "metric_count": M}``;
+* span records, flattened DFS preorder over the canonical span order:
+  ``{"kind": "span", "id": int, "parent": int|null, "name": str,
+  "start": float, "end": float, "attrs": {...},
+  "events": [[time, name], ...]}`` — ids are dense preorder indexes,
+  so the tree is reconstructable and, crucially, *deterministic*:
+  a serial campaign and a sharded run export byte-identical files;
+* metric records (see ``MetricsSnapshot.as_records``):
+  ``{"kind": "metric", "type": "counter"|"gauge"|"histogram", ...}``.
+
+**Chrome trace-event JSON** follows the trace-event format understood
+by ``about:tracing`` and Perfetto: complete ("X") events for spans,
+instant ("i") events for packet landmarks, metadata ("M") records
+naming one thread per vantage point.  Timestamps are simulated
+microseconds — the sim's t=0 is the trace's t=0.
+
+Everything is serialized with sorted keys and compact separators; no
+wall clocks, no entropy, no ids from memory addresses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+from repro.obs.metrics import MetricsSnapshot
+
+SCHEMA_NAME = "repro.obs"
+SCHEMA_VERSION = 1
+
+#: Fields every flattened span record carries (schema v1).
+SPAN_FIELDS = ("kind", "id", "parent", "name", "start", "end", "attrs",
+               "events")
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def flatten_spans(span_dicts: List[dict]) -> List[dict]:
+    """DFS-preorder flat records with dense ids and parent pointers."""
+    records: List[dict] = []
+
+    def walk(data: dict, parent: Optional[int]) -> None:
+        span_id = len(records)
+        records.append({"kind": "span", "id": span_id, "parent": parent,
+                        "name": data["name"], "start": data["start"],
+                        "end": data["end"],
+                        "attrs": data.get("attrs", {}),
+                        "events": data.get("events", [])})
+        for child in data.get("children", []):
+            walk(child, span_id)
+
+    for data in span_dicts:
+        walk(data, None)
+    return records
+
+
+def jsonl_lines(span_dicts: List[dict],
+                snapshot: MetricsSnapshot) -> List[str]:
+    """The full JSONL export as a list of lines (schema v1)."""
+    span_records = flatten_spans(span_dicts)
+    metric_records = snapshot.as_records()
+    header = {"kind": "header", "schema": SCHEMA_NAME,
+              "version": SCHEMA_VERSION,
+              "span_count": len(span_records),
+              "metric_count": len(metric_records)}
+    return ([_dumps(header)]
+            + [_dumps(record) for record in span_records]
+            + [_dumps(record) for record in metric_records])
+
+
+def write_jsonl(target: Union[str, IO[str]], span_dicts: List[dict],
+                snapshot: MetricsSnapshot) -> None:
+    lines = jsonl_lines(span_dicts, snapshot)
+    if hasattr(target, "write"):
+        target.write("\n".join(lines) + "\n")
+    else:
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+
+def read_jsonl(path: str) -> dict:
+    """Parse an export back into header/span/metric record lists."""
+    header = None
+    spans: List[dict] = []
+    metrics: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "header":
+                header = record
+            elif kind == "span":
+                spans.append(record)
+            elif kind == "metric":
+                metrics.append(record)
+    if header is None:
+        raise ValueError("%s: not a repro.obs export (no header line)"
+                         % path)
+    if (header.get("schema") != SCHEMA_NAME
+            or header.get("version") != SCHEMA_VERSION):
+        raise ValueError(
+            "%s: unsupported schema %r v%r (this build reads %s v%d)"
+            % (path, header.get("schema"), header.get("version"),
+               SCHEMA_NAME, SCHEMA_VERSION))
+    return {"header": header, "spans": spans, "metrics": metrics}
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def chrome_trace_events(span_dicts: List[dict]) -> List[dict]:
+    """Trace-event records for about:tracing / Perfetto."""
+    vps = sorted({str(span.get("attrs", {}).get("vp", ""))
+                  for span in span_dicts})
+    tids = {vp: index + 1 for index, vp in enumerate(vps)}
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "repro simulated campaign"}},
+    ]
+    for vp in vps:
+        events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                       "tid": tids[vp],
+                       "args": {"name": "vp %s" % vp if vp
+                                else "(no vantage point)"}})
+
+    def emit(data: dict, tid: int, cat: str) -> None:
+        events.append({"name": data["name"], "cat": cat, "ph": "X",
+                       "pid": 1, "tid": tid,
+                       "ts": _us(data["start"]),
+                       "dur": _us(data["end"] - data["start"]),
+                       "args": data.get("attrs", {})})
+        for time, name in data.get("events", []):
+            events.append({"name": name, "cat": "landmark", "ph": "i",
+                           "s": "t", "pid": 1, "tid": tid,
+                           "ts": _us(time)})
+        for child in data.get("children", []):
+            emit(child, tid, "phase")
+
+    for span in span_dicts:
+        tid = tids[str(span.get("attrs", {}).get("vp", ""))]
+        emit(span, tid, span["name"])
+    return events
+
+
+def write_chrome_trace(target: Union[str, IO[str]],
+                       span_dicts: List[dict]) -> None:
+    payload = {"traceEvents": chrome_trace_events(span_dicts),
+               "displayTimeUnit": "ms"}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if hasattr(target, "write"):
+        target.write(text + "\n")
+    else:
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")

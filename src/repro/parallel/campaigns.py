@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.content.keywords import Keyword
 from repro.measure.driver import (
     DatasetA,
@@ -57,6 +58,10 @@ class _DatasetAShard:
     #: None (env default) or a bool; each worker builds its own private
     #: per-shard ReplayCache, so cache objects never cross processes.
     replay_cache: Optional[bool] = None
+    #: Mirror of the parent's repro.obs enabled flag: workers re-assert
+    #: it so tracing survives any process start method (fork inherits
+    #: it anyway) and per-shard captures come back on the dataset.
+    observe: bool = False
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,7 @@ class _DatasetBShard:
     store_payload: bool
     run_timeout: Optional[float]
     replay_cache: Optional[bool] = None
+    observe: bool = False
 
 
 def _select_vps(scenario: Scenario, names: Sequence[str]):
@@ -81,6 +87,8 @@ def _select_vps(scenario: Scenario, names: Sequence[str]):
 
 
 def _run_dataset_a_shard(shard: _DatasetAShard) -> DatasetA:
+    if shard.observe:
+        obs.enable()
     scenario = Scenario(shard.config)
     return run_dataset_a(
         scenario, list(shard.keywords),
@@ -93,6 +101,8 @@ def _run_dataset_a_shard(shard: _DatasetAShard) -> DatasetA:
 
 
 def _run_dataset_b_shard(shard: _DatasetBShard) -> DatasetB:
+    if shard.observe:
+        obs.enable()
     scenario = Scenario(shard.config)
     service = scenario.service(shard.service_name)
     frontend = service.frontend_by_name(shard.frontend_name)
@@ -118,6 +128,37 @@ def _merged_replay_stats(results: Sequence[object]):
     if not stats:
         return None
     return sum(stats)
+
+
+#: Histogram bounds for per-shard session counts.
+_SHARD_SESSION_BOUNDS = (10, 30, 100, 300, 1_000, 3_000, 10_000)
+
+
+def _merge_observability(obs_mark, results: Sequence[object],
+                         merged) -> None:
+    """Fold per-shard observability captures into the merged dataset.
+
+    The runner first rolls the live runtime back to ``obs_mark``: when
+    :func:`~repro.parallel.pool.map_shards` fell back to inline
+    execution, the shard campaigns recorded straight into this
+    process's tracer/registry, and absorbing their snapshots too would
+    double-count.  (With real worker processes the rollback is a
+    no-op.)  Sim-scope metrics and spans merge to exactly the serial
+    campaign's capture; host-scope metrics add up across shards.
+    """
+    if obs_mark is None:
+        return
+    obs.rollback(obs_mark)
+    merged.trace = obs.merge_traces(
+        [result.trace for result in results])
+    merged.obs_metrics = obs.merge_metrics(
+        [result.obs_metrics for result in results])
+    obs.absorb(merged.trace, merged.obs_metrics)
+    registry = obs.runtime.metrics
+    registry.inc("campaign.shards", len(results))
+    for result in results:
+        registry.observe("shard.sessions", len(result.sessions),
+                         _SHARD_SESSION_BOUNDS)
 
 
 def _check_default_profiles(scenario: Scenario) -> None:
@@ -190,8 +231,10 @@ def run_dataset_a_sharded(scenario: Scenario,
                        services=service_names,
                        store_payload=store_payload,
                        run_timeout=run_timeout,
-                       replay_cache=replay_cache)
+                       replay_cache=replay_cache,
+                       observe=obs.enabled())
         for part in partition]
+    obs_mark = obs.fork_mark() if obs.enabled() else None
     results = map_shards(_run_dataset_a_shard, shard_specs, processes)
 
     merged = DatasetA()
@@ -207,6 +250,7 @@ def run_dataset_a_sharded(scenario: Scenario,
             key = (vp.name, service_name)
             if key in default_fe:
                 merged.default_fe[key] = default_fe[key]
+    _merge_observability(obs_mark, results, merged)
     return merged
 
 
@@ -241,11 +285,14 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
                        repeats=repeats, interval=interval,
                        store_payload=store_payload,
                        run_timeout=run_timeout,
-                       replay_cache=replay_cache)
+                       replay_cache=replay_cache,
+                       observe=obs.enabled())
         for part in partition]
+    obs_mark = obs.fork_mark() if obs.enabled() else None
     results = map_shards(_run_dataset_b_shard, shard_specs, processes)
 
     merged = DatasetB(service=service_name, fe_name=resolved)
     merged.replay = _merged_replay_stats(results)
     merged.sessions = _sessions_in_fleet_order(scenario, results)
+    _merge_observability(obs_mark, results, merged)
     return merged

@@ -25,6 +25,7 @@ from repro.http.message import HttpRequest, HttpResponse
 from repro.http.server import HttpServer, Responder
 from repro.net.geo import GeoPoint
 from repro.net.node import Node
+from repro.obs import runtime as _obs
 from repro.services.load import ProcessingModel
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
@@ -120,6 +121,8 @@ class BackendDataCenter:
                              arrival_time=self.sim.now, tproc=tproc)
         self.query_log[query_id] = record
         self.queries_served += 1
+        if _obs.enabled:
+            _obs.metrics.inc("be.queries")
         include_static = request.headers.get("X-Full-Page") == "1"
         self.sim.schedule(tproc, self._respond, responder, keyword,
                           record, include_static)
@@ -140,6 +143,9 @@ class BackendDataCenter:
             arrival_time=arrival_time, tproc=tproc,
             response_size=response_size, completed_time=completed_time)
         self.queries_served += 1
+        if _obs.enabled:
+            # Keeps be.queries == queries_served under replay too.
+            _obs.metrics.inc("be.queries")
         # The fetch rides a pre-existing persistent pool connection, so
         # only the request counter moves — never connections_accepted.
         self.server.requests_served += 1

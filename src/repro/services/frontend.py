@@ -32,6 +32,7 @@ from repro.http.server import HttpServer, Responder
 from repro.net.address import Endpoint
 from repro.net.geo import GeoPoint
 from repro.net.node import Node
+from repro.obs import runtime as _obs
 from repro.services.load import FrontEndLoadModel
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
@@ -161,6 +162,8 @@ class FrontEndServer:
                 request.path.encode("latin-1", errors="replace")))
             return
         self.requests_served += 1
+        if _obs.enabled:
+            _obs.metrics.inc("fe.requests")
         query_id = request.query.get(
             "id", "fe-%s-%d" % (self.node.name, self.requests_served))
         state = _RequestState(responder, query_id,
@@ -179,6 +182,8 @@ class FrontEndServer:
                 # NOT do this): serve the dynamic part from the FE cache
                 # with no back-end fetch at all.
                 self.result_cache_hits += 1
+                if _obs.enabled:
+                    _obs.metrics.inc("fe.result_cache_hits")
                 state.dynamic_body = cached
                 self.sim.schedule(delay, self._write_static, state)
                 return
@@ -203,6 +208,9 @@ class FrontEndServer:
         this FE, so concurrency bookkeeping reduces to "one request".
         """
         self.requests_served += 1
+        if _obs.enabled:
+            # Keeps fe.requests == requests_served under replay too.
+            _obs.metrics.inc("fe.requests")
         self.peak_concurrency = max(self.peak_concurrency, 1)
         self.server.requests_served += 1
         self.server.connections_accepted += 1

@@ -102,6 +102,9 @@ class Simulator:
         self._running = False
         self._processed = 0
         self._cancelled = 0  # cancelled entries still sitting in the queue
+        #: Heap compaction count (plain attribute: the observability
+        #: layer reads it post-run, keeping the hot path import-free).
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -242,6 +245,7 @@ class Simulator:
                               if not entry[_STATE]]
             heapq.heapify(self._queue)
             self._cancelled = 0
+            self.compactions += 1
 
     def _drain_cancelled_head(self) -> None:
         """Pop the batch of cancelled entries at the head of the queue."""

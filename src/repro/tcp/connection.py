@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
 from repro.net.address import Endpoint, FlowKey
+from repro.obs import runtime as _obs
 from repro.net.packet import Packet
 from repro.tcp.buffers import Reassembler, SendBuffer
 from repro.tcp.config import TcpConfig
@@ -401,6 +402,8 @@ class Connection:
             self._try_send()
         elif self._dupacks == self.config.dupack_threshold:
             self.stats.fast_retransmits += 1
+            if _obs.enabled:
+                _obs.metrics.inc("tcp.fast_retransmits")
             self._recover_offset = self.send_buffer.nxt
             self.cc.on_fast_retransmit(self._flight_size())
             self._retransmit_una()
@@ -592,6 +595,8 @@ class Connection:
     def _retransmit_una(self) -> None:
         """Retransmit the first unacknowledged segment."""
         self.stats.retransmissions += 1
+        if _obs.enabled:
+            _obs.metrics.inc("tcp.retransmissions")
         offset = self.send_buffer.una
         if offset < self.send_buffer.stream_length:
             size = min(self.config.mss,
@@ -733,6 +738,8 @@ class Connection:
         if not self._outstanding():
             return
         self.stats.timeouts += 1
+        if _obs.enabled:
+            _obs.metrics.inc("tcp.timeouts")
         self._retries += 1
         limit = (self.config.max_syn_retries
                  if self.state in (State.SYN_SENT, State.SYN_RCVD)

@@ -1,0 +1,32 @@
+"""Fixture: a *wrong* trace exporter (see test_lint_rules).
+
+The real exporters (``repro.obs.export``) must never reach for wall
+clocks or OS entropy — span timestamps are simulated time and ids are
+dense preorder indexes, so serial and sharded runs export byte-identical
+files.  This fixture writes the exporter the tempting-but-broken way and
+proves simlint's determinism pack rejects every such escape hatch.
+"""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def export_header(span_count):
+    return {
+        "kind": "header",
+        "exported_at": time.time(),  # expect: DET001
+        "span_count": span_count,
+    }
+
+
+def export_span(span):
+    record = dict(span)
+    record["id"] = str(uuid.uuid4())  # expect: DET002
+    record["written"] = datetime.now().isoformat()  # expect: DET001
+    return record
+
+
+def trace_file_name(prefix):
+    return "%s-%s.jsonl" % (prefix, os.urandom(4).hex())  # expect: DET002

@@ -39,6 +39,7 @@ def lint_fixture(name, **config_kwargs):
     "determinism_bad.py",
     "unit_bad.py",
     "event_bad.py",
+    "obs_exporter_bad.py",
 ])
 def test_fixture_findings_match_expect_markers(fixture):
     findings = lint_fixture(fixture)

@@ -32,6 +32,17 @@ def test_src_tree_has_zero_unsuppressed_findings():
     assert any(f.suppressed for f in findings)
 
 
+def test_obs_tree_is_clean_without_suppressions():
+    # The observability subsystem is held to a stricter bar than the
+    # rest of src/repro: exports must be byte-deterministic, so the obs
+    # tree must satisfy the determinism pack with no findings at all —
+    # not even suppressed ones (a suppression there would mean a wall
+    # clock or entropy source one comment away from the trace format).
+    runner, findings = _run(["src/repro/obs"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert runner.files_scanned >= 7
+
+
 def test_tests_and_examples_have_zero_unsuppressed_findings():
     runner, findings = _run(["tests", "benchmarks", "examples"])
     active = [f for f in findings if not f.suppressed]
