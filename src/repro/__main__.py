@@ -112,7 +112,9 @@ def _experiment_worker(task):
     name, scale = task
     # Wall-clock here times the CLI itself, not the simulation.
     start = time.time()  # simlint: ignore[DET001]
-    mark = obs.fork_mark() if obs.enabled() else None
+    # The rollback for this mark happens in main(), which owns the
+    # parent-side mark; the worker only ships its snapshot delta.
+    mark = obs.fork_mark() if obs.enabled() else None  # simlint: ignore[SHARD003]
     text = EXPERIMENTS[name](scale)
     payload = None
     if mark is not None:

@@ -1,0 +1,101 @@
+"""Baseline files: adopt a new rule without fixing the world first.
+
+Turning on a new rule pack over an existing tree can surface dozens of
+pre-existing findings.  A baseline file records them so the run stays
+green while *new* findings (and regressions beyond the recorded count)
+still fail:
+
+    repro-lint src --write-baseline .simlint-baseline.json
+    repro-lint src --baseline .simlint-baseline.json
+
+Findings are fingerprinted as ``(rule, path, message)`` with a *count*
+per fingerprint — deliberately no line numbers, so unrelated edits
+that shift a finding up or down the file do not churn the baseline.
+The cost of that choice: a finding whose message embeds provenance
+line numbers (the flow rules do) re-fingerprints when its *source*
+site moves.  Baselines are a migration tool, not a permanent
+suppression mechanism — burn entries down to zero and delete the file.
+
+Matching is per fingerprint, first-come within a run: with a count of
+2 and three identical findings, the first two are marked
+``baselined`` and the third blocks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.framework import Finding, LintConfigError
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_SCHEMA_VERSION = 1
+
+_SEP = "\x1f"  # fingerprint field separator; cannot appear in paths
+
+
+def _fingerprint(finding: Finding) -> str:
+    return _SEP.join((finding.rule, finding.path.replace("\\", "/"),
+                      finding.message))
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read a baseline file into ``{fingerprint: count}``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise LintConfigError("cannot read baseline file %r: %s"
+                              % (path, exc))
+    except ValueError as exc:
+        raise LintConfigError("baseline file %r is not valid JSON: %s"
+                              % (path, exc))
+    if not isinstance(data, dict) \
+            or data.get("version") != BASELINE_SCHEMA_VERSION \
+            or not isinstance(data.get("entries"), list):
+        raise LintConfigError("baseline file %r has an unexpected shape "
+                              "(expected version %d with an entries "
+                              "list)" % (path, BASELINE_SCHEMA_VERSION))
+    entries: Dict[str, int] = {}
+    for entry in data["entries"]:
+        fingerprint = _SEP.join((entry["rule"], entry["path"],
+                                 entry["message"]))
+        entries[fingerprint] = entries.get(fingerprint, 0) \
+            + int(entry.get("count", 1))
+    return entries
+
+
+def write_baseline(path: str, findings: List[Finding]) -> int:
+    """Record every blocking finding; returns the entry count."""
+    counts: Dict[tuple, int] = {}
+    for finding in findings:
+        if not finding.blocking:
+            continue
+        key = (finding.rule, finding.path.replace("\\", "/"),
+               finding.message)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [{"rule": rule, "path": posix, "message": message,
+                "count": count}
+               for (rule, posix, message), count in sorted(counts.items())]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": BASELINE_SCHEMA_VERSION,
+                   "entries": entries}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(findings: List[Finding],
+                   entries: Dict[str, int]) -> int:
+    """Mark accepted findings ``baselined``; returns how many matched."""
+    remaining = dict(entries)
+    matched = 0
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        fingerprint = _fingerprint(finding)
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            finding.baselined = True
+            matched += 1
+    return matched

@@ -1,0 +1,130 @@
+"""On-disk incremental cache for simlint.
+
+Repeated CI runs mostly re-lint unchanged files.  The cache stores, per
+file, everything a run produces for it — findings, the
+:class:`~repro.lint.project.ModuleFacts` the project pass needs, and
+the parsed suppression state — keyed by the SHA-256 of the file
+*content*, so renames and ``touch`` are free and any edit invalidates
+exactly that file.  Project-scope rules always re-run (they are
+cross-file by nature), but on a warm cache they run over restored
+facts without a single re-parse.
+
+The whole cache is invalidated when the rule selection, the facts
+schema, or the rule-pack version changes: the store's *signature*
+covers them all, and a signature mismatch simply starts an empty
+cache.  A corrupt or unreadable cache file is likewise treated as
+empty — the cache can slow a run down, never break it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.lint.framework import Finding, _Suppressions
+from repro.lint.project import FACTS_VERSION, ModuleFacts
+
+__all__ = ["CacheStore", "RULEPACK_VERSION"]
+
+#: Bump when any rule's behavior changes without its id changing, so
+#: warm caches cannot serve findings computed by older logic.
+RULEPACK_VERSION = 2
+
+#: Shape of the cache file itself.
+_CACHE_SCHEMA = 1
+
+
+def _content_key(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class CacheStore:
+    """One cache file, loaded at open and written back at save."""
+
+    def __init__(self, path: str, signature: str):
+        self.path = path
+        self.signature = signature
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self._seen: List[str] = []
+
+    @classmethod
+    def open(cls, path: str, runner) -> "CacheStore":
+        signature = cls.signature_for(runner)
+        store = cls(path, signature)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if (data.get("schema") == _CACHE_SCHEMA
+                    and data.get("signature") == signature):
+                store.entries = data.get("files", {})
+        except (OSError, ValueError):
+            pass  # absent or corrupt: start cold
+        return store
+
+    @staticmethod
+    def signature_for(runner) -> str:
+        rule_ids = sorted(
+            cls.id for cls in (runner.rule_classes
+                               + runner.project_rule_classes))
+        return "v%d/facts%d/rules:%s" % (
+            RULEPACK_VERSION, FACTS_VERSION, ",".join(rule_ids))
+
+    # -- per-file protocol ---------------------------------------------
+    def restore(self, runner, path: str,
+                source: str) -> Optional[List[Finding]]:
+        """Replay a cached result for ``path``, or None on a miss."""
+        entry = self.entries.get(path)
+        if entry is None or entry.get("key") != _content_key(source):
+            return None
+        self._seen.append(path)
+        runner.files_scanned += 1
+        runner.files_from_cache += 1
+        if entry.get("facts") is not None and runner.project_rule_classes:
+            runner._facts_by_path[path] = ModuleFacts.from_json(
+                entry["facts"])
+        runner._suppressions[path] = _Suppressions.from_json(
+            entry["suppressions"])
+        return [Finding(rule=f["rule"], severity=f["severity"],
+                        path=f["path"], line=f["line"], col=f["col"],
+                        message=f["message"], end_line=f["end_line"],
+                        suppressed=f["suppressed"])
+                for f in entry["findings"]]
+
+    def record(self, runner, path: str, source: str,
+               findings: List[Finding]) -> None:
+        facts = runner._facts_by_path.get(path)
+        suppressions = runner._suppressions.get(path)
+        if suppressions is None:  # syntax error: nothing worth caching
+            return
+        self._seen.append(path)
+        self.entries[path] = {
+            "key": _content_key(source),
+            "findings": [{
+                "rule": f.rule, "severity": f.severity, "path": f.path,
+                "line": f.line, "col": f.col, "end_line": f.end_line,
+                "message": f.message, "suppressed": f.suppressed,
+            } for f in findings],
+            "facts": facts.to_json() if facts is not None else None,
+            "suppressions": suppressions.to_json(),
+        }
+
+    def save(self) -> None:
+        # Keep only files this run actually visited, so deleted or
+        # newly-excluded files do not accumulate forever.
+        seen = set(self._seen)
+        files = {path: entry for path, entry in self.entries.items()
+                 if path in seen}
+        payload = {"schema": _CACHE_SCHEMA, "signature": self.signature,
+                   "files": files}
+        tmp = self.path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - read-only checkout etc.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

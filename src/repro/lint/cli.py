@@ -2,13 +2,16 @@
 
 Usage::
 
-    python -m repro.lint [paths...] [--format text|json]
+    python -m repro.lint [paths...] [--format text|json|sarif]
     python -m repro lint [paths...]          # same, via the main CLI
     repro-lint [paths...]                    # console-script entry point
 
-Exit codes: 0 — clean (suppressed findings do not count); 1 — at least
-one unsuppressed finding; 2 — configuration error (unknown rule id,
-malformed ``[tool.simlint]`` table).
+Exit codes: 0 — clean (suppressed and baselined findings do not
+count); 1 — at least one blocking finding; 2 — configuration error,
+unreadable/unparseable file, or an internal rule crash.  Syntax-error
+files are reported as ``META001`` findings (the rest of the tree is
+still linted) but force exit 2, so CI cannot mistake "could not
+analyze" for "analyzed clean".
 """
 
 from __future__ import annotations
@@ -30,19 +33,22 @@ from repro.lint.framework import (
 
 #: Version of the JSON report schema; bump when the shape changes and
 #: update docs/LINTING.md plus tests/test_lint_config.py.
-JSON_SCHEMA_VERSION = 1
+#: v2: added per-finding "baselined" plus top-level "baselined",
+#: "errors", "files_analyzed" and "files_from_cache".
+JSON_SCHEMA_VERSION = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="AST-based determinism / unit-safety / event-safety "
+        description="Whole-project determinism / unit-safety / "
+                    "event-safety / shard-safety / replay-safety "
                     "checks for the simulation universe.")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         metavar="PATH",
                         help="files or directories to lint "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", dest="output_format",
                         help="report format (default: text)")
     parser.add_argument("--select", action="append", default=[],
@@ -56,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: nearest to the first path)")
     parser.add_argument("--no-config", action="store_true",
                         help="ignore [tool.simlint] configuration entirely")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="accept findings recorded in this baseline "
+                             "file (see --write-baseline)")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record the run's blocking findings to FILE "
+                             "and exit 0")
+    parser.add_argument("--cache", metavar="FILE",
+                        help="incremental cache file: unchanged files "
+                             "are restored instead of re-analyzed")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore any cache configured in pyproject")
     parser.add_argument("--show-suppressed", action="store_true",
                         help="also list suppressed findings in text output")
     parser.add_argument("--list-rules", action="store_true",
@@ -80,47 +97,74 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
     disable = _split_ids(args.disable)
     if select:
         config = LintConfig(enable=tuple(select), disable=config.disable,
-                            exclude=config.exclude)
+                            exclude=config.exclude,
+                            baseline=config.baseline, cache=config.cache)
     if disable:
         config = LintConfig(enable=config.enable,
                             disable=config.disable + tuple(disable),
-                            exclude=config.exclude)
+                            exclude=config.exclude,
+                            baseline=config.baseline, cache=config.cache)
+    if args.baseline:
+        config.baseline = args.baseline
+    if args.cache:
+        config.cache = args.cache
+    if args.no_cache:
+        config.cache = None
     config.validate()
     return config
 
 
 def _render_text(findings: List[Finding], runner: LintRunner,
                  show_suppressed: bool, out) -> None:
-    active = [f for f in findings if not f.suppressed]
-    shown = findings if show_suppressed else active
+    blocking = [f for f in findings if f.blocking]
+    shown = findings if show_suppressed \
+        else [f for f in findings if not f.suppressed]
     for finding in shown:
         print(finding.render(), file=out)
-    suppressed = len(findings) - len(active)
-    print("%d file(s) scanned: %d finding(s), %d suppressed"
-          % (runner.files_scanned, len(active), suppressed), file=out)
+    suppressed = sum(1 for f in findings if f.suppressed)
+    baselined = sum(1 for f in findings if f.baselined)
+    cached = (", %d from cache" % runner.files_from_cache
+              if runner.files_from_cache else "")
+    print("%d file(s) scanned%s: %d finding(s), %d suppressed, "
+          "%d baselined, %d error(s)"
+          % (runner.files_scanned, cached, len(blocking), suppressed,
+             baselined, runner.errors), file=out)
 
 
 def _render_json(findings: List[Finding], runner: LintRunner, out) -> None:
-    active = [f for f in findings if not f.suppressed]
+    blocking = [f for f in findings if f.blocking]
     counts = {severity: 0 for severity in ("error", "warning")}
-    for finding in active:
+    for finding in blocking:
         counts[finding.severity] = counts.get(finding.severity, 0) + 1
     report = {
         "version": JSON_SCHEMA_VERSION,
         "files_scanned": runner.files_scanned,
+        "files_analyzed": runner.files_analyzed,
+        "files_from_cache": runner.files_from_cache,
+        "errors": runner.errors,
         "counts": counts,
-        "suppressed": len(findings) - len(active),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "baselined": sum(1 for f in findings if f.baselined),
         "findings": [f.as_dict() for f in findings],
     }
     json.dump(report, out, indent=2, sort_keys=True)
     out.write("\n")
 
 
+def _render_sarif(findings: List[Finding], out) -> None:
+    from repro import __version__
+    from repro.lint.sarif import sarif_report
+    report = sarif_report(findings, all_rules(), __version__)
+    json.dump(report, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
 def _list_rules(out) -> None:
     for rule_id, rule in sorted(all_rules().items()):
-        print("%s %-22s [%s] %s"
-              % (rule_id, rule.name, rule.severity, rule.description),
-              file=out)
+        scope = getattr(rule, "scope", "file")
+        print("%s %-22s [%s/%s] %s"
+              % (rule_id, rule.name, rule.severity, scope,
+                 rule.description), file=out)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -133,14 +177,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = _resolve_config(args)
         runner = LintRunner(config)
         findings = runner.run_paths(args.paths)
+        if args.write_baseline:
+            from repro.lint.baseline import write_baseline
+            entries = write_baseline(args.write_baseline, findings)
+            print("simlint: wrote %d baseline entr%s to %s"
+                  % (entries, "y" if entries == 1 else "ies",
+                     args.write_baseline), file=sys.stderr)
+            return 0
+        if config.baseline:
+            from repro.lint.baseline import apply_baseline, load_baseline
+            apply_baseline(findings, load_baseline(config.baseline))
     except LintConfigError as exc:
         print("simlint: configuration error: %s" % exc, file=sys.stderr)
         return 2
     if args.output_format == "json":
         _render_json(findings, runner, sys.stdout)
+    elif args.output_format == "sarif":
+        _render_sarif(findings, sys.stdout)
     else:
         _render_text(findings, runner, args.show_suppressed, sys.stdout)
-    return 1 if any(not f.suppressed for f in findings) else 0
+    if runner.errors:
+        return 2
+    return 1 if any(f.blocking for f in findings) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

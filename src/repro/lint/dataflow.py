@@ -1,0 +1,310 @@
+"""Interprocedural taint propagation over :mod:`repro.lint.project`.
+
+The determinism-flow pack needs to answer questions like "can a value
+produced by ``time.time()`` reach the delay argument of ``schedule()``
+through any chain of assignments and calls, possibly crossing module
+boundaries?".  This module implements the smallest analysis that
+answers them soundly enough for a linter:
+
+* **intraprocedural def-use** — each function is evaluated over the
+  name-level :class:`~repro.lint.project.FunctionFacts` summaries
+  (assignments, returns, call arguments), with two passes so flows
+  through loop-carried names converge;
+* **bottom-up return summaries** — a fixpoint computes, per function,
+  which taint its return value may carry, expressed over *placeholder*
+  tokens for its parameters so callers can substitute their own
+  arguments (context-insensitive but parameter-sensitive);
+* **top-down parameter taint** — a second fixpoint pushes concrete
+  source tokens into callee parameters at every resolved call site.
+
+Taint is a set of *tokens*: ``(source description, path, line)`` for a
+concrete nondeterministic source, plus a ``via`` chain of the functions
+it crossed, so findings can print ``time.time (host.py:42) via jitter
+-> backoff``.  Unresolved calls (stdlib, externals) conservatively pass
+argument taint through to their result — ``max(time.time(), floor)``
+stays tainted — while *resolved* calls use the callee's summary, which
+keeps false positives down inside the project itself.
+
+Everything here is pure computation over facts: no ASTs are re-walked,
+so the analysis composes with the incremental facts cache.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lint.project import (
+    CallFacts,
+    FunctionFacts,
+    ModuleFacts,
+    ProjectContext,
+)
+
+__all__ = ["TaintAnalysis", "FunctionTaint", "format_token"]
+
+#: Tag for placeholder tokens standing in for a callee parameter.
+_PARAM = "<param>"
+
+#: Cap on the recorded ``via`` chain (findings stay readable; taint
+#: still propagates past the cap, only the provenance is truncated).
+_VIA_LIMIT = 4
+
+# A token key is ("<param>", name, 0) or (source desc, path, line);
+# a token set maps key -> via tuple (first discovery wins, which keeps
+# the fixpoints monotone: sets only ever gain keys).
+TokenSet = Dict[tuple, tuple]
+
+
+def _param_token(name: str) -> tuple:
+    return (_PARAM, name, 0)
+
+
+def _is_param(key: tuple) -> bool:
+    return key[0] == _PARAM
+
+
+def _merge(dst: TokenSet, src: TokenSet) -> bool:
+    changed = False
+    for key, via in src.items():
+        if key not in dst:
+            dst[key] = via
+            changed = True
+    return changed
+
+
+def format_token(key: tuple, via: tuple) -> str:
+    """Render one taint token for a finding message."""
+    desc, path, line = key
+    origin = "%s (%s:%d)" % (desc, path, line)
+    if via:
+        return origin + " via " + " -> ".join(via)
+    return origin
+
+
+class FunctionTaint:
+    """Final (concrete) taint facts for one function.
+
+    All lists are index-aligned with the corresponding
+    :class:`~repro.lint.project.FunctionFacts` lists, so rules can zip
+    them against the syntactic facts they already iterate.
+    """
+
+    __slots__ = ("call_args", "call_out", "assigns", "returns")
+
+    def __init__(self, n_calls: int, n_assigns: int, n_returns: int):
+        #: per call: {arg slot -> TokenSet} (slot is int or kwarg name)
+        self.call_args: List[Dict[object, TokenSet]] = [
+            {} for _ in range(n_calls)]
+        #: per call: taint of the call's result
+        self.call_out: List[TokenSet] = [{} for _ in range(n_calls)]
+        #: per assignment: taint of the right-hand side
+        self.assigns: List[TokenSet] = [{} for _ in range(n_assigns)]
+        #: per return statement: taint of the returned value
+        self.returns: List[TokenSet] = [{} for _ in range(n_returns)]
+
+
+class TaintAnalysis:
+    """Project-wide taint propagation from caller-supplied sources.
+
+    ``is_source(call, facts)`` classifies one call site: return a short
+    description ("time.time") when the call *produces* nondeterminism,
+    else None.  After :meth:`run`, :meth:`function_taint` yields
+    concrete per-function taint with full provenance.
+    """
+
+    #: Fixpoint iteration caps.  Both loops are monotone over finite
+    #: token universes so they terminate on their own; the caps only
+    #: bound pathological projects.
+    MAX_SUMMARY_ROUNDS = 10
+    MAX_PARAM_ROUNDS = 20
+
+    def __init__(self, project: ProjectContext,
+                 is_source: Callable[[CallFacts, ModuleFacts],
+                                     Optional[str]]):
+        self.project = project
+        self.is_source = is_source
+        #: fq -> TokenSet a call of the function may return (may
+        #: contain parameter placeholders).
+        self.summaries: Dict[str, TokenSet] = {}
+        #: fq -> {param name -> concrete TokenSet}
+        self.param_in: Dict[str, Dict[str, TokenSet]] = {}
+        self._final: Dict[str, FunctionTaint] = {}
+
+    # -- public API ----------------------------------------------------
+    def run(self) -> None:
+        order = sorted(self.project.functions)
+        self._fixpoint_summaries(order)
+        self._fixpoint_params(order)
+
+    def function_taint(self, fq: str) -> FunctionTaint:
+        """Concrete taint for one function (lazily computed)."""
+        taint = self._final.get(fq)
+        if taint is None:
+            taint = self._evaluate(fq, self._concrete_env(fq),
+                                   record=True)[1]
+            self._final[fq] = taint
+        return taint
+
+    # -- fixpoints -----------------------------------------------------
+    def _fixpoint_summaries(self, order: List[str]) -> None:
+        for fq in order:
+            self.summaries[fq] = {}
+        for _ in range(self.MAX_SUMMARY_ROUNDS):
+            changed = False
+            for fq in order:
+                _, fn = self.project.functions[fq]
+                env = {p: {_param_token(p): ()} for p in fn.params}
+                ret = self._evaluate(fq, env)[0]
+                if _merge(self.summaries[fq], ret):
+                    changed = True
+            if not changed:
+                break
+
+    def _fixpoint_params(self, order: List[str]) -> None:
+        for fq in order:
+            self.param_in[fq] = {}
+        for _ in range(self.MAX_PARAM_ROUNDS):
+            changed = False
+            for fq in order:
+                facts, fn = self.project.functions[fq]
+                taint = self._evaluate(fq, self._concrete_env(fq),
+                                       record=True)[1]
+                for index, call in enumerate(fn.calls):
+                    callees = self.project.resolve_call(facts, fn, call)
+                    if not callees:
+                        continue
+                    arg_toks = taint.call_args[index]
+                    for callee in callees:
+                        if self._push_args(callee, arg_toks, call):
+                            changed = True
+            if not changed:
+                break
+
+    def _push_args(self, callee: str,
+                   arg_toks: Dict[object, TokenSet],
+                   call: CallFacts) -> bool:
+        _, cfn = self.project.functions[callee]
+        sink = self.param_in[callee]
+        changed = False
+        for pname in cfn.params:
+            incoming = self._tokens_for_param(cfn, pname, arg_toks, call)
+            if not incoming:
+                continue
+            concrete = {k: v for k, v in incoming.items()
+                        if not _is_param(k)}
+            if concrete and _merge(sink.setdefault(pname, {}), concrete):
+                changed = True
+        return changed
+
+    def _tokens_for_param(self, cfn: FunctionFacts, pname: str,
+                          arg_toks: Dict[object, TokenSet],
+                          call: CallFacts) -> TokenSet:
+        """Union of argument taint that may bind to ``pname``.
+
+        Positional mapping cannot know whether the callee is invoked as
+        a bound method (implicit ``self``) or as a plain function, so a
+        parameter at position *j* accepts both slot *j* and slot *j-1*
+        — over-approximate, never missing.
+        """
+        out: TokenSet = {}
+        _merge(out, arg_toks.get(pname, {}))
+        if pname in cfn.params:
+            j = cfn.params.index(pname)
+            _merge(out, arg_toks.get(j, {}))
+            if j > 0 and cfn.params[0] in ("self", "cls") \
+                    and call.attr is not None:
+                _merge(out, arg_toks.get(j - 1, {}))
+        return out
+
+    def _concrete_env(self, fq: str) -> Dict[str, TokenSet]:
+        _, fn = self.project.functions[fq]
+        incoming = self.param_in.get(fq, {})
+        return {p: dict(incoming.get(p, {})) for p in fn.params}
+
+    # -- one-function evaluation ---------------------------------------
+    def _evaluate(self, fq: str, env: Dict[str, TokenSet],
+                  record: bool = False
+                  ) -> Tuple[TokenSet, FunctionTaint]:
+        facts, fn = self.project.functions[fq]
+        taint = FunctionTaint(len(fn.calls), len(fn.assigns),
+                              len(fn.returns))
+        ret: TokenSet = {}
+        # Two passes so a flow through a loop-carried name (defined
+        # textually *after* its first read) still converges.
+        for _ in range(2):
+            call_memo: Dict[int, TokenSet] = {}
+            for index in range(len(fn.calls)):
+                self._call_out(facts, fn, index, env, call_memo, taint)
+            for a_index, (targets, names, calls, _line) in \
+                    enumerate(fn.assigns):
+                rhs: TokenSet = {}
+                for name in names:
+                    _merge(rhs, env.get(name, {}))
+                for c_index in calls:
+                    _merge(rhs, call_memo.get(c_index, {}))
+                taint.assigns[a_index] = rhs
+                for target in targets:
+                    _merge(env.setdefault(target, {}), rhs)
+            for r_index, (names, calls, _line) in enumerate(fn.returns):
+                out: TokenSet = {}
+                for name in names:
+                    _merge(out, env.get(name, {}))
+                for c_index in calls:
+                    _merge(out, call_memo.get(c_index, {}))
+                taint.returns[r_index] = out
+                _merge(ret, out)
+        return ret, taint
+
+    def _call_out(self, facts: ModuleFacts, fn: FunctionFacts,
+                  index: int, env: Dict[str, TokenSet],
+                  memo: Dict[int, TokenSet],
+                  taint: FunctionTaint) -> TokenSet:
+        if index in memo:
+            return memo[index]
+        memo[index] = {}  # cycle guard; nested args only look backwards
+        call = fn.calls[index]
+        arg_toks: Dict[object, TokenSet] = {}
+        all_args: TokenSet = {}
+        for arg in call.args:
+            toks: TokenSet = {}
+            for name in arg.names:
+                _merge(toks, env.get(name, {}))
+            for c_index in arg.calls:
+                _merge(toks, self._call_out(facts, fn, c_index, env,
+                                            memo, taint))
+            arg_toks[arg.slot] = toks
+            _merge(all_args, toks)
+        out: TokenSet = {}
+        desc = self.is_source(call, facts)
+        if desc is not None:
+            out[(desc, facts.path, call.line)] = ()
+        callees = self.project.resolve_call(facts, fn, call)
+        if callees:
+            for callee in callees:
+                self._substitute(callee, arg_toks, call, out)
+        else:
+            # External/unresolved call: taint in, taint out.
+            _merge(out, all_args)
+        memo[index] = out
+        taint.call_args[index] = arg_toks
+        taint.call_out[index] = out
+        return out
+
+    def _substitute(self, callee: str,
+                    arg_toks: Dict[object, TokenSet],
+                    call: CallFacts, out: TokenSet) -> None:
+        """Instantiate a callee summary at one call site."""
+        summary = self.summaries.get(callee)
+        if not summary:
+            return
+        _, cfn = self.project.functions[callee]
+        hop = callee.rsplit(".", 1)[-1]
+        for key, via in summary.items():
+            if _is_param(key):
+                bound = self._tokens_for_param(cfn, key[1], arg_toks,
+                                               call)
+                for b_key, b_via in bound.items():
+                    if b_key not in out:
+                        out[b_key] = b_via
+            elif key not in out:
+                out[key] = (via + (hop,))[:_VIA_LIMIT]

@@ -1,0 +1,187 @@
+"""Determinism-flow rule pack (DET006-DET008).
+
+The per-file determinism rules (DET001-DET005) flag nondeterministic
+*call sites*; these project-scope rules flag nondeterministic *flows*:
+a wall-clock or entropy value that travels through assignments, helper
+returns, and cross-module calls before it lands somewhere that breaks
+bit-reproducibility — the event queue, a seed, or an exported trace
+field.  The heavy lifting lives in :mod:`repro.lint.dataflow`; each
+rule here is a sink query over the shared taint result, and every
+finding prints the source site plus the call chain it crossed
+(``time.time (host.py:42) via jitter -> backoff``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lint.dataflow import TaintAnalysis, format_token
+from repro.lint.determinism import (
+    MODULE_RANDOM_ATTRS,
+    OS_ENTROPY_CALLS,
+    WALL_CLOCK_CALLS,
+)
+from repro.lint.framework import register
+from repro.lint.project import (
+    CallFacts,
+    ModuleFacts,
+    ProjectContext,
+    ProjectRule,
+    SCHEDULE_ATTRS,
+)
+
+#: random.* draws that *return* a nondeterministic value (``seed`` and
+#: ``shuffle`` mutate in place and are DET003's business, not a flow
+#: source).
+_RANDOM_DRAWS = MODULE_RANDOM_ATTRS - {"seed", "shuffle"}
+
+#: Sinks for DET008: writes an exporter performs on its output.
+_EXPORT_WRITE_ATTRS = ("write", "writelines", "writerow", "dump",
+                       "dumps")
+
+
+def taint_source(call: CallFacts, facts: ModuleFacts) -> Optional[str]:
+    """Classify one call site as a nondeterminism source (or not)."""
+    target = call.target
+    if target in WALL_CLOCK_CALLS or target in OS_ENTROPY_CALLS:
+        return target
+    if target and target.startswith("random.") \
+            and target.split(".", 1)[1] in _RANDOM_DRAWS:
+        return target
+    return None
+
+
+def shared_taint(project: ProjectContext) -> TaintAnalysis:
+    """One taint analysis per lint invocation, shared by the pack."""
+    analysis = getattr(project, "_det_flow_taint", None)
+    if analysis is None:
+        analysis = TaintAnalysis(project, taint_source)
+        analysis.run()
+        project._det_flow_taint = analysis  # type: ignore[attr-defined]
+    return analysis
+
+
+def _provenance(tokens) -> str:
+    rendered = sorted(format_token(key, via)
+                      for key, via in tokens.items())
+    head = rendered[0]
+    if len(rendered) > 1:
+        head += " (+%d more source(s))" % (len(rendered) - 1)
+    return head
+
+
+@register
+class ScheduleTaintRule(ProjectRule):
+    id = "DET006"
+    name = "schedule-taint"
+    severity = "error"
+    description = ("A nondeterministic value (wall clock, OS entropy, "
+                   "module-level random) reaches a schedule()/call_at() "
+                   "timing argument through some call chain.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        analysis = shared_taint(project)
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            taint = analysis.function_taint(fq)
+            for index, call in enumerate(fn.calls):
+                if call.attr not in SCHEDULE_ATTRS:
+                    continue
+                tokens = {}
+                for slot in (0, "delay", "time"):
+                    tokens.update(taint.call_args[index].get(slot, {}))
+                if tokens:
+                    self.report(
+                        facts.path, call.line,
+                        "nondeterministic value reaches the %s() timing "
+                        "argument: %s; event times must be derived from "
+                        "Simulator.now and seeded streams"
+                        % (call.attr, _provenance(tokens)), col=call.col)
+
+
+@register
+class SeedTaintRule(ProjectRule):
+    id = "DET007"
+    name = "seed-taint"
+    severity = "error"
+    description = ("A nondeterministic value flows into a seed — a "
+                   ".seed() call, a seed= keyword, or a parameter named "
+                   "seed/*_seed — making every downstream draw "
+                   "irreproducible.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        analysis = shared_taint(project)
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            taint = analysis.function_taint(fq)
+            for index, call in enumerate(fn.calls):
+                tokens = {}
+                if call.attr == "seed" or call.bare == "seed":
+                    for slot_tokens in taint.call_args[index].values():
+                        tokens.update(slot_tokens)
+                else:
+                    tokens.update(taint.call_args[index].get("seed", {}))
+                if tokens:
+                    self.report(
+                        facts.path, call.line,
+                        "nondeterministic value reaches a seed: %s; "
+                        "seeds must come from the experiment "
+                        "configuration" % _provenance(tokens),
+                        col=call.col)
+            # Parameters that *are* seeds, fed a tainted argument at
+            # some (possibly distant) call site.
+            for param in fn.params:
+                if param != "seed" and not param.endswith("_seed"):
+                    continue
+                tokens = analysis.param_in.get(fq, {}).get(param, {})
+                if tokens:
+                    self.report(
+                        facts.path, fn.line,
+                        "seed parameter %r of %s() receives a "
+                        "nondeterministic value: %s"
+                        % (param, fn.name, _provenance(tokens)))
+
+
+@register
+class ExportTaintRule(ProjectRule):
+    id = "DET008"
+    name = "export-taint"
+    severity = "error"
+    description = ("A nondeterministic value reaches an exported trace "
+                   "field (a write/dump call in exporter code); "
+                   "identical runs would produce different artifacts.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        analysis = shared_taint(project)
+        reported = set()
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            if not self._exporter_scope(facts, fn):
+                continue
+            taint = analysis.function_taint(fq)
+            for index, call in enumerate(fn.calls):
+                if call.attr not in _EXPORT_WRITE_ATTRS:
+                    continue
+                tokens = {}
+                for slot_tokens in taint.call_args[index].values():
+                    tokens.update(slot_tokens)
+                # handle.write(json.dumps(record)) is one sink, not two.
+                if tokens and (facts.path, call.line) not in reported:
+                    reported.add((facts.path, call.line))
+                    self.report(
+                        facts.path, call.line,
+                        "nondeterministic value reaches exported output "
+                        "via .%s(): %s; exported traces must be "
+                        "identical across runs of one seed"
+                        % (call.attr, _provenance(tokens)),
+                        col=call.col)
+
+    @staticmethod
+    def _exporter_scope(facts: ModuleFacts, fn) -> bool:
+        posix = facts.path.replace("\\", "/")
+        return ("export" in facts.module.rsplit(".", 1)[-1]
+                or "/obs/" in posix
+                or "Exporter" in (fn.cls or ""))

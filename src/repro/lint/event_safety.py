@@ -10,37 +10,15 @@ rejects negative delays, and cancellation requires keeping the
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.lint.framework import Rule, ancestors, register
-
-SCHEDULE_ATTRS = ("schedule", "call_at")
-
-#: Receiver names treated as "the simulator" for `.run()` detection.
-SIM_RECEIVERS = ("sim", "simulator", "engine")
-
-
-def _is_sim_receiver(node: ast.expr, sim_locals: Set[str]) -> bool:
-    if isinstance(node, ast.Name):
-        return node.id in SIM_RECEIVERS or node.id in sim_locals
-    if isinstance(node, ast.Attribute):
-        return node.attr in SIM_RECEIVERS
-    return False
-
-
-def _callback_name(node: ast.Call) -> Optional[str]:
-    """Bare name of the callback scheduled by a schedule()/call_at() call."""
-    callback: Optional[ast.expr] = None
-    if len(node.args) >= 2:
-        callback = node.args[1]
-    for keyword in node.keywords:
-        if keyword.arg == "callback":
-            callback = keyword.value
-    if isinstance(callback, ast.Name):
-        return callback.id
-    if isinstance(callback, ast.Attribute):
-        return callback.attr
-    return None
+from repro.lint.project import (
+    ProjectContext,
+    ProjectRule,
+    SCHEDULE_ATTRS,
+    SIM_RECEIVERS,  # noqa: F401  (re-exported; pre-v2 public name)
+)
 
 
 def _schedule_call(node: ast.AST) -> Optional[ast.Call]:
@@ -52,93 +30,57 @@ def _schedule_call(node: ast.AST) -> Optional[ast.Call]:
 
 
 @register
-class ReentrantRunRule(Rule):
+class ReentrantRunRule(ProjectRule):
+    """EVT001, rebuilt on the cross-module call graph.
+
+    The old rule closed over same-file calls only, so a scheduled
+    callback that reached ``Simulator.run()`` through a helper in
+    another module passed silently.  This version walks the
+    project-wide call graph (``tests/data/lint/proj_evt`` holds the
+    exact cross-file case the old rule missed); same-file resolution is
+    a subset of the new graph, so findings are a superset of before.
+    """
+
     id = "EVT001"
     name = "reentrant-run"
     severity = "error"
-    description = ("Simulator.run() reachable from a scheduled callback; "
-                   "the engine is not re-entrant and raises "
-                   "SimulationError at runtime.")
+    description = ("Simulator.run() reachable from a scheduled callback "
+                   "(through any cross-module call chain); the engine "
+                   "is not re-entrant and raises SimulationError at "
+                   "runtime.")
+    scope = "project"
 
-    def begin_file(self) -> None:
-        self._scheduled: Set[str] = set()
-        self._lambda_runs: List[ast.Call] = []
-
-    def visit_Call(self, node: ast.Call) -> None:
-        call = _schedule_call(node)
-        if call is None:
-            return
-        name = _callback_name(call)
-        if name:
-            self._scheduled.add(name)
-        # A lambda callback can be checked right here.
-        callback = call.args[1] if len(call.args) >= 2 else None
-        if isinstance(callback, ast.Lambda):
-            for child in ast.walk(callback):
-                run = self._run_call(child, set())
-                if run is not None:
-                    self.report(run, "scheduled lambda calls Simulator.run()"
-                                     "; the engine is not re-entrant")
-
-    def end_file(self) -> None:
-        functions = self._collect_functions()
-        # Transitive closure: which function names are reachable from a
-        # scheduled callback through same-file calls?
-        reachable = set(self._scheduled)
-        frontier = list(reachable)
-        while frontier:
-            name = frontier.pop()
-            for callee in functions.get(name, (set(), []))[0]:
-                if callee not in reachable:
-                    reachable.add(callee)
-                    frontier.append(callee)
-        for name in sorted(reachable):
-            _, run_calls = functions.get(name, (set(), []))
-            for run in run_calls:
-                self.report(run, "Simulator.run() is reachable from "
-                                 "scheduled callback %r; the engine is not "
-                                 "re-entrant — restructure as scheduled "
-                                 "events" % name)
-
-    def _collect_functions(self
-                           ) -> Dict[str, Tuple[Set[str], List[ast.Call]]]:
-        """Map function name -> (called names, sim .run() call nodes)."""
-        functions: Dict[str, Tuple[Set[str], List[ast.Call]]] = {}
-        for node in ast.walk(self.ctx.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            sim_locals = {
-                target.id
-                for stmt in ast.walk(node)
-                if isinstance(stmt, ast.Assign)
-                and isinstance(stmt.value, ast.Call)
-                and (self.ctx.qualname(stmt.value.func) or ""
-                     ).endswith("Simulator")
-                for target in stmt.targets if isinstance(target, ast.Name)}
-            calls: Set[str] = set()
-            runs: List[ast.Call] = []
-            for child in ast.walk(node):
-                if not isinstance(child, ast.Call):
+    def check(self, project: ProjectContext) -> None:
+        roots: List[str] = []
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            for call in fn.calls:
+                # Lambda callbacks carry their sim-run sites directly.
+                for line, col in call.lambda_runs:
+                    self.report(facts.path, line,
+                                "scheduled lambda calls Simulator.run(); "
+                                "the engine is not re-entrant", col=col)
+                if call.callback:
+                    roots.extend(project.resolve_callback(
+                        facts, call.callback))
+        parents = project.reachable_from(roots)
+        reported: Set[Tuple[str, int]] = set()
+        for fq in sorted(parents):
+            facts, fn = project.functions[fq]
+            for call in fn.calls:
+                if not call.is_sim_run:
                     continue
-                run = self._run_call(child, sim_locals)
-                if run is not None:
-                    runs.append(run)
-                elif isinstance(child.func, ast.Name):
-                    calls.add(child.func.id)
-                elif isinstance(child.func, ast.Attribute):
-                    calls.add(child.func.attr)
-            functions[node.name] = (calls, runs)
-        return functions
-
-    @staticmethod
-    def _run_call(node: ast.AST, sim_locals: Set[str]
-                  ) -> Optional[ast.Call]:
-        if (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in ("run", "run_until_idle")
-                and _is_sim_receiver(node.func.value, sim_locals)):
-            return node
-        return None
+                key = (facts.path, call.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                self.report(
+                    facts.path, call.line,
+                    "Simulator.run() is reachable from a scheduled "
+                    "callback (%s); the engine is not re-entrant — "
+                    "restructure as scheduled events"
+                    % project.witness_chain(parents, fq),
+                    col=call.col)
 
 
 @register

@@ -67,10 +67,18 @@ class Finding:
     message: str
     end_line: int = 0
     suppressed: bool = False
+    #: accepted by the baseline file (counts as non-blocking, like
+    #: suppressed, but lives outside the source tree)
+    baselined: bool = False
 
     def __post_init__(self) -> None:
         if not self.end_line:
             self.end_line = self.line
+
+    @property
+    def blocking(self) -> bool:
+        """True when this finding should fail the run."""
+        return not self.suppressed and not self.baselined
 
     def as_dict(self) -> Dict[str, Any]:
         """Stable JSON shape — see docs/LINTING.md before changing."""
@@ -83,10 +91,15 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
         }
 
     def render(self) -> str:
-        state = " (suppressed)" if self.suppressed else ""
+        state = ""
+        if self.suppressed:
+            state = " (suppressed)"
+        elif self.baselined:
+            state = " (baselined)"
         return "%s:%d:%d: %s [%s]%s %s" % (
             self.path, self.line, self.col, self.severity, self.rule,
             state, self.message)
@@ -101,13 +114,21 @@ _RULE_ID_RE = re.compile(r"^[A-Z]{2,5}\d{3}$")
 
 
 def register(rule_cls: type) -> type:
-    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    """Class decorator adding a rule class to the registry.
+
+    Accepts both per-file :class:`Rule` subclasses and project-scope
+    :class:`repro.lint.project.ProjectRule` subclasses; the runner
+    dispatches on their ``scope`` attribute.
+    """
     rule_id = getattr(rule_cls, "id", None)
     if not rule_id or not _RULE_ID_RE.match(rule_id):
         raise ValueError("rule id %r does not match PACKNNN" % (rule_id,))
     if rule_cls.severity not in SEVERITIES:
         raise ValueError("rule %s has unknown severity %r"
                          % (rule_id, rule_cls.severity))
+    if getattr(rule_cls, "scope", "file") not in ("file", "project"):
+        raise ValueError("rule %s has unknown scope %r"
+                         % (rule_id, rule_cls.scope))
     if rule_id in _REGISTRY:
         raise ValueError("duplicate rule id %s" % rule_id)
     _REGISTRY[rule_id] = rule_cls
@@ -131,7 +152,14 @@ def get_rule(rule_id: str) -> type:
 
 def _load_rule_packs() -> None:
     # Imported lazily so framework.py itself has no circular imports.
-    from repro.lint import determinism, event_safety, unit_safety  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        determinism,
+        determinism_flow,
+        event_safety,
+        replay_safety,
+        shard_safety,
+        unit_safety,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -144,11 +172,16 @@ class LintConfig:
     ``enable`` non-empty means *only* those rules run; ``disable`` is
     subtracted afterwards.  ``exclude`` holds path fragments (POSIX
     style) — any file whose normalized path contains one is skipped.
+    ``baseline`` names a baseline file of adopted findings (see
+    :mod:`repro.lint.baseline`), ``cache`` an incremental-cache file
+    (see :mod:`repro.lint.cache`); both are optional.
     """
 
     enable: Tuple[str, ...] = ()
     disable: Tuple[str, ...] = ()
     exclude: Tuple[str, ...] = ()
+    baseline: Optional[str] = None
+    cache: Optional[str] = None
 
     def validate(self) -> None:
         known = set(all_rules())
@@ -201,7 +234,8 @@ def load_config(pyproject_path: Optional[str]) -> LintConfig:
         table = _parse_simlint_table(pyproject_path)
     if not isinstance(table, dict):
         raise LintConfigError("[tool.simlint] must be a table")
-    unknown_keys = set(table) - {"enable", "disable", "exclude"}
+    unknown_keys = set(table) - {"enable", "disable", "exclude",
+                                 "baseline", "cache"}
     if unknown_keys:
         raise LintConfigError("unknown [tool.simlint] keys: %s"
                               % ", ".join(sorted(unknown_keys)))
@@ -209,6 +243,8 @@ def load_config(pyproject_path: Optional[str]) -> LintConfig:
         enable=_string_tuple(table, "enable"),
         disable=_string_tuple(table, "disable"),
         exclude=_string_tuple(table, "exclude"),
+        baseline=_string_value(table, "baseline"),
+        cache=_string_value(table, "cache"),
     )
     config.validate()
     return config
@@ -224,6 +260,21 @@ def _string_tuple(table: Dict[str, Any], key: str) -> Tuple[str, ...]:
         raise LintConfigError("[tool.simlint] %s must be a list of strings"
                               % key)
     return values
+
+
+def _string_value(table: Dict[str, Any], key: str) -> Optional[str]:
+    value = table.get(key)
+    if value is None:
+        return None
+    # The py<3.11 fallback parser returns every value as a string list.
+    if isinstance(value, (list, tuple)):
+        if len(value) != 1:
+            raise LintConfigError("[tool.simlint] %s must be one string"
+                                  % key)
+        value = value[0]
+    if not isinstance(value, str):
+        raise LintConfigError("[tool.simlint] %s must be a string" % key)
+    return value
 
 
 def _parse_simlint_table(pyproject_path: str) -> Dict[str, Any]:
@@ -301,6 +352,35 @@ class _Suppressions:
             rules = self.line_rules[line]
             return rules is None or rule_id in rules
         return False
+
+    def to_json(self) -> Dict[str, Any]:
+        """Serialize for the incremental cache (bad comments included,
+        so cached files still re-report them)."""
+        return {
+            "all_lines": sorted(line for line, rules
+                                in self.line_rules.items()
+                                if rules is None),
+            "lines": {str(line): sorted(rules)
+                      for line, rules in self.line_rules.items()
+                      if rules is not None},
+            "file_all": self.file_all,
+            "file_rules": sorted(self.file_rules),
+            "bad": [[line, rule_id]
+                    for line, rule_id in self.bad_comments],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "_Suppressions":
+        state = cls()
+        for line in data["all_lines"]:
+            state.line_rules[int(line)] = None
+        for line, rules in data["lines"].items():
+            state.line_rules[int(line)] = set(rules)
+        state.file_all = bool(data["file_all"])
+        state.file_rules = set(data["file_rules"])
+        state.bad_comments = [(int(line), rule_id)
+                              for line, rule_id in data["bad"]]
+        return state
 
 
 def _comments(source: str) -> List[Tuple[int, str]]:
@@ -415,12 +495,38 @@ class Rule:
 # runner
 # ---------------------------------------------------------------------------
 class LintRunner:
-    """Runs the enabled rules over files, sources, or directory trees."""
+    """Runs the enabled rules over files, sources, or directory trees.
+
+    Per-file rules run in one AST walk per file.  Project-scope rules
+    (``scope == "project"``) run once per invocation, over the
+    :class:`~repro.lint.project.ModuleFacts` collected from every file,
+    after the per-file pass — :meth:`run_paths` does this automatically;
+    callers driving :meth:`run_source` directly finish with
+    :meth:`run_project`.
+
+    ``errors`` counts conditions that must fail CI hard (exit 2): files
+    that do not parse or cannot be read, and rules that crash.  Each
+    also produces a ``META001`` finding, so a broken tree degrades into
+    diagnostics instead of a traceback.
+    """
 
     def __init__(self, config: Optional[LintConfig] = None):
         self.config = config or LintConfig()
-        self.rule_classes = self.config.selected_rules()
+        selected = self.config.selected_rules()
+        self.rule_classes = [cls for cls in selected
+                             if getattr(cls, "scope", "file") == "file"]
+        self.project_rule_classes = [
+            cls for cls in selected
+            if getattr(cls, "scope", "file") == "project"]
         self.files_scanned = 0
+        #: files parsed and walked this run (cache misses + direct runs)
+        self.files_analyzed = 0
+        #: files whose findings were restored from the incremental cache
+        self.files_from_cache = 0
+        #: hard failures: unreadable/unparseable files, crashed rules
+        self.errors = 0
+        self._facts_by_path: Dict[str, Any] = {}
+        self._suppressions: Dict[str, _Suppressions] = {}
 
     # -- discovery ----------------------------------------------------
     def iter_python_files(self, paths: Sequence[str]) -> List[str]:
@@ -447,25 +553,54 @@ class LintRunner:
 
     # -- execution ----------------------------------------------------
     def run_paths(self, paths: Sequence[str]) -> List[Finding]:
+        store = None
+        if self.config.cache:
+            from repro.lint.cache import CacheStore
+            store = CacheStore.open(self.config.cache, self)
         findings: List[Finding] = []
         for path in self.iter_python_files(paths):
-            findings.extend(self.run_file(path))
+            findings.extend(self._run_file_cached(path, store))
+        findings.extend(self.run_project())
+        if store is not None:
+            store.save()
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
     def run_file(self, path: str) -> List[Finding]:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        return self.run_source(source, path)
+        return self._run_file_cached(path, None)
+
+    def _run_file_cached(self, path: str, store) -> List[Finding]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            self.errors += 1
+            return [Finding(rule=META_RULE_ID, severity="error", path=path,
+                            line=1, col=0,
+                            message="file could not be read: %s" % exc)]
+        if store is not None:
+            restored = store.restore(self, path, source)
+            if restored is not None:
+                return restored
+        errors_before = self.errors
+        findings = self.run_source(source, path)
+        if store is not None and self.errors == errors_before:
+            store.record(self, path, source, findings)
+        return findings
 
     def run_source(self, source: str, path: str = "<string>"
                    ) -> List[Finding]:
+        self.files_scanned += 1
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
+            # A finding (so the file shows up in reports) *and* a hard
+            # error (so CI exits 2 rather than "1 finding, fine").
+            self.errors += 1
             return [Finding(rule=META_RULE_ID, severity="error", path=path,
                             line=exc.lineno or 1, col=exc.offset or 0,
                             message="file does not parse: %s" % exc.msg)]
-        self.files_scanned += 1
+        self.files_analyzed += 1
         ctx = FileContext(path, source, tree)
         rules = [cls(ctx) for cls in self.rule_classes]
         dispatch: Dict[str, List[Any]] = {}
@@ -479,13 +614,30 @@ class LintRunner:
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 child._simlint_parent = parent  # type: ignore[attr-defined]
-        for node in ast.walk(tree):
-            for method in dispatch.get(type(node).__name__, ()):
-                method(node)
-        for rule in rules:
-            rule.end_file()
+        try:
+            for node in ast.walk(tree):
+                for method in dispatch.get(type(node).__name__, ()):
+                    method(node)
+            for rule in rules:
+                rule.end_file()
+        except Exception as exc:  # crashed rule: diagnose, keep going
+            self.errors += 1
+            ctx.report(_MetaRule(ctx), None,
+                       "internal error while linting (results for this "
+                       "file may be partial): %s: %s"
+                       % (type(exc).__name__, exc), line=1)
+        if self.project_rule_classes:
+            try:
+                from repro.lint.project import extract_module_facts
+                self._facts_by_path[path] = extract_module_facts(path, tree)
+            except Exception as exc:  # pragma: no cover - defensive
+                self.errors += 1
+                ctx.report(_MetaRule(ctx), None,
+                           "internal error extracting project facts: "
+                           "%s: %s" % (type(exc).__name__, exc), line=1)
 
         suppressions = _Suppressions.parse(source, all_rules())
+        self._suppressions[path] = suppressions
         for lineno, rule_id in suppressions.bad_comments:
             ctx.report(_MetaRule(ctx), None,
                        "suppression names unknown rule %r" % rule_id,
@@ -496,6 +648,37 @@ class LintRunner:
             # so multi-line calls can carry the ignore on any line.
             if any(suppressions.covers(finding.rule, lineno)
                    for lineno in range(finding.line, finding.end_line + 1)):
+                finding.suppressed = True
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    # -- project pass --------------------------------------------------
+    def run_project(self) -> List[Finding]:
+        """Run project-scope rules over every file linted so far."""
+        if not self.project_rule_classes or not self._facts_by_path:
+            return []
+        from repro.lint.project import ProjectContext
+        project = ProjectContext(list(self._facts_by_path.values()))
+        findings: List[Finding] = []
+        for cls in self.project_rule_classes:
+            rule = cls()
+            try:
+                rule.check(project)
+            except Exception as exc:
+                self.errors += 1
+                findings.append(Finding(
+                    rule=META_RULE_ID, severity="error", path="<project>",
+                    line=1, col=0,
+                    message="internal error in project rule %s: %s: %s"
+                            % (cls.id, type(exc).__name__, exc)))
+                continue
+            findings.extend(rule.findings)
+        for finding in findings:
+            suppressions = self._suppressions.get(finding.path)
+            if suppressions is not None and any(
+                    suppressions.covers(finding.rule, lineno)
+                    for lineno in range(finding.line,
+                                        finding.end_line + 1)):
                 finding.suppressed = True
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings

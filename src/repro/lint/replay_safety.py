@@ -1,0 +1,145 @@
+"""Replay-safety rule pack (RPLY001-RPLY002).
+
+A session-replay cache hit (:mod:`repro.sim.replay`) never drives the
+TCP stack, so every side effect a simulated session leaves on the
+session path — ``tcp/``, ``services/``, ``measure/`` — must be
+replicated explicitly by the replay manager.  The contract is recorded
+in ``sim/replay/effects.py`` as the ``REPLICATED_EFFECTS`` allowlist;
+these rules keep code and contract in sync *in both directions*:
+
+* RPLY001 — an effect-shaped site in session-path code whose signature
+  is not allowlisted (a new ground-truth log or registry write that
+  replay would silently drop);
+* RPLY002 — an allowlist entry matching no session-path code (a stale
+  contract that would mask a future RPLY001).
+
+Effect shapes are syntactic: subscript stores into ``*_log``
+attributes, and calls to ``record_*`` / ``register*`` / ``log_*`` /
+``inject`` / ``reserve_port`` methods.  Constructor bodies
+(``__init__``) are exempt — effects there are topology setup that
+happens before any session exists, not per-session state.
+
+Both rules stand down when the linted file set contains no module
+defining ``REPLICATED_EFFECTS`` under a ``replay`` path (linting
+``tests/`` alone must not light up) or no session-path modules at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.framework import register
+from repro.lint.project import ModuleFacts, ProjectContext, ProjectRule
+
+#: Path segments that mark a module as session-path code.
+SESSION_SEGMENTS = ("tcp", "services", "measure")
+
+#: Method-name shapes treated as session side effects.
+EFFECT_PREFIXES = ("record_", "register", "log_")
+EFFECT_METHODS = ("inject", "reserve_port")
+
+#: Module-level constant the replay cache declares its contract in.
+ALLOWLIST_NAME = "REPLICATED_EFFECTS"
+
+
+def _is_session_module(facts: ModuleFacts) -> bool:
+    parts = facts.path.replace("\\", "/").split("/")
+    return any(segment in parts for segment in SESSION_SEGMENTS)
+
+
+def _find_allowlist(project: ProjectContext
+                    ) -> Optional[Tuple[str, int, List[str]]]:
+    for module in sorted(project.modules):
+        facts = project.modules[module]
+        if "replay" not in facts.path.replace("\\", "/"):
+            continue
+        if ALLOWLIST_NAME in facts.module_constants:
+            line, strings = facts.module_constants[ALLOWLIST_NAME]
+            return facts.path, line, list(strings)
+    return None
+
+
+def _effect_sites(facts: ModuleFacts) -> List[Tuple[str, int]]:
+    """(signature, line) for every effect-shaped site in one module."""
+    sites: List[Tuple[str, int]] = []
+    for fn in facts.functions.values():
+        if fn.name == "__init__":
+            continue  # constructor-time topology setup, not a session
+        for attr, line in fn.attr_subscript_writes:
+            if attr.endswith("_log"):
+                sites.append((attr + "[]", line))
+        for call in fn.calls:
+            attr = call.attr
+            if attr is None:
+                continue
+            if attr in EFFECT_METHODS \
+                    or attr.startswith(EFFECT_PREFIXES):
+                sites.append((attr, call.line))
+    return sites
+
+
+@register
+class UnreplicatedEffectRule(ProjectRule):
+    id = "RPLY001"
+    name = "unreplicated-effect"
+    severity = "error"
+    description = ("Session-path side effect not in the replay cache's "
+                   "replicated-effects allowlist; a replay hit would "
+                   "silently drop it.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        allowlist = _find_allowlist(project)
+        if allowlist is None:
+            return
+        _path, _line, allowed = allowlist
+        for module in sorted(project.modules):
+            facts = project.modules[module]
+            if not _is_session_module(facts):
+                continue
+            for signature, line in sorted(_effect_sites(facts),
+                                          key=lambda s: (s[1], s[0])):
+                if signature in allowed:
+                    continue
+                self.report(
+                    facts.path, line,
+                    "session-path side effect %r is not in "
+                    "REPLICATED_EFFECTS; a replay hit will not "
+                    "reproduce it — replicate it in the replay manager "
+                    "and add the signature to sim/replay/effects.py"
+                    % signature)
+
+
+@register
+class StaleAllowlistRule(ProjectRule):
+    id = "RPLY002"
+    name = "stale-allowlist"
+    severity = "error"
+    description = ("REPLICATED_EFFECTS entry matches no session-path "
+                   "code; stale entries mask future unreplicated "
+                   "effects.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        allowlist = _find_allowlist(project)
+        if allowlist is None:
+            return
+        path, line, allowed = allowlist
+        observed: Dict[str, int] = {}
+        session_modules = 0
+        for facts in project.modules.values():
+            if not _is_session_module(facts):
+                continue
+            session_modules += 1
+            for signature, _line in _effect_sites(facts):
+                observed[signature] = observed.get(signature, 0) + 1
+        if session_modules == 0:
+            return  # partial lint: nothing to compare against
+        for entry in allowed:
+            if entry not in observed:
+                self.report(
+                    path, line,
+                    "REPLICATED_EFFECTS entry %r matches no effect "
+                    "site in the linted session-path modules; remove "
+                    "the stale entry (or restore the effect it "
+                    "documented)" % entry)

@@ -68,7 +68,10 @@ metrics = MetricsRegistry()
 
 def enable() -> None:
     global enabled
-    enabled = True
+    # Shard workers re-assert the flag on purpose: the switch is
+    # per-process, and parallel/campaigns merges recorded data through
+    # the snapshot/absorb protocol, never through this module's state.
+    enabled = True  # simlint: ignore[SHARD001]
 
 
 def disable() -> None:

@@ -1,0 +1,44 @@
+"""Replicated-effects allowlist for the session-replay cache.
+
+A replay hit never drives :mod:`repro.tcp` packet-by-packet, so every
+side effect a simulated session leaves behind — ground-truth log
+records, registry writes — must be replicated explicitly by
+:meth:`ReplayManager._replay <repro.sim.replay.manager.ReplayManager>`.
+This module is the single source of truth for that contract: the
+signatures listed here are the effect sites that exist on the session
+path (``tcp/``, ``services/``, ``measure/``) *and* are replicated
+bit-for-bit on a hit.
+
+The ``RPLY001`` simlint rule enforces the contract statically: any
+effect-shaped site in session-path code whose signature is missing here
+is flagged, and ``RPLY002`` flags stale entries that no longer match
+any code.  To add a new session side effect:
+
+1. implement the effect in the session path;
+2. replicate it in ``manager.py`` (see ``_server_effects`` for the
+   existing log-record replication);
+3. add its signature below, with a comment naming the replication site;
+4. re-run ``python -m repro.lint src`` — both rules must come back
+   clean.
+
+Signature syntax: a bare name means "a call to a method of that name"
+(``register_keywords``); a trailing ``[]`` means "a subscript store
+into an attribute of that name" (``fetch_log[]``).
+"""
+
+from __future__ import annotations
+
+#: Session-path effect signatures replicated on a replay hit.
+REPLICATED_EFFECTS = (
+    # FrontendApp.fetch_log[qid] = FetchRecord -- replicated by
+    # ReplayManager._server_effects via record_replayed_fetch().
+    "fetch_log[]",
+    # BackendServer.query_log[qid] = QueryRecord -- replicated by
+    # ReplayManager._server_effects via record_replayed_query().
+    "query_log[]",
+    # KeywordRegistry.register / register_all / register_keywords --
+    # replicated directly at the top of ReplayManager._replay.
+    "register",
+    "register_all",
+    "register_keywords",
+)

@@ -1,0 +1,15 @@
+"""Helpers for the proj_evt fixture; ``drain`` re-enters the engine."""
+
+
+def get_simulator():
+    raise NotImplementedError("fixture stub")
+
+
+def drain():
+    sim = get_simulator()
+    sim.run()  # expect: EVT001
+
+
+def peek():
+    sim = get_simulator()
+    return sim.now

@@ -1,0 +1,23 @@
+"""Cross-file re-entrancy fixture (the case per-file EVT001 missed).
+
+``start`` schedules ``tick``; ``tick`` calls into another module whose
+helper re-enters ``Simulator.run()``.  A per-file pass over either
+module alone sees nothing wrong — only the cross-module call graph
+connects the callback to the run() site.
+"""
+
+from engine_helpers import drain, peek
+
+
+def start(sim):
+    sim.schedule(1.0, tick)
+    sim.schedule(2.0, probe)
+
+
+def tick():
+    drain()
+
+
+def probe():
+    # Clean callback: crosses modules but never reaches run().
+    peek()

@@ -1,0 +1,16 @@
+"""Nondeterminism sources for the proj_flow fixture.
+
+``now`` is the single wall-clock read; everything downstream of it in
+the other modules is reached only through these helpers, so every
+DET006-DET008 finding below exercises the cross-module taint engine.
+"""
+
+import time
+
+
+def now():
+    return time.time()  # expect: DET001
+
+
+def jittered(base):
+    return base + now()

@@ -1,0 +1,33 @@
+"""Tainted flows into the event queue (DET006) and seeds (DET007)."""
+
+from helpers import jittered, now
+
+
+def schedule_backoff(sim, cb):
+    delay = jittered(0.5)
+    sim.schedule(delay, cb)  # expect: DET006
+
+
+def schedule_direct(sim, cb):
+    sim.call_at(now(), cb)  # expect: DET006
+
+
+def schedule_clean(sim, cb):
+    sim.schedule(0.25, cb)
+
+
+def reseed(rng):
+    rng.seed(now())  # expect: DET007
+
+
+def make_streams(streams_cls):
+    return streams_cls(seed=now())  # expect: DET007
+
+
+def run_with_seed(sim, base_seed):  # expect: DET007
+    return base_seed * 2
+
+
+def forward_clock(sim):
+    # Taints run_with_seed's base_seed parameter at a distance.
+    return run_with_seed(sim, jittered(1.0))

@@ -1,0 +1,14 @@
+"""Tainted exported trace fields (DET008)."""
+
+import json
+
+from helpers import now
+
+
+def export_spans(handle, spans):
+    record = {"spans": spans, "generated_at": now()}
+    handle.write(json.dumps(record))  # expect: DET008
+
+
+def export_clean(handle, spans):
+    handle.write(json.dumps({"spans": list(spans)}))

@@ -1,0 +1,6 @@
+"""Session driver: one allowlisted effect call, one missing."""
+
+
+def submit(service, keyword, qid, record):
+    service.register(keyword)
+    service.record_query(qid, record)  # expect: RPLY001

@@ -1,0 +1,7 @@
+"""Replicated-effects contract for the fixture; one entry is stale."""
+
+REPLICATED_EFFECTS = (  # expect: RPLY002
+    "register",
+    "query_log[]",
+    "reserve_port",
+)

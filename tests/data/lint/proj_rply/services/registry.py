@@ -1,0 +1,15 @@
+"""Session-path service code whose effects are allowlisted."""
+
+
+class Registry:
+    def __init__(self):
+        self.entries = {}
+        self.query_log = {}
+
+    def register(self, keyword):
+        # Plain attribute writes are not effect-shaped; only the
+        # *callers* of register() are matched against the allowlist.
+        self.entries[keyword] = True
+
+    def record_query(self, qid, record):
+        self.query_log[qid] = record

@@ -1,0 +1,12 @@
+"""Session-path TCP code with one unreplicated effect."""
+
+
+class Stack:
+    def __init__(self, node):
+        self.retrans_log = {}
+        # Constructor-time topology wiring is exempt: it happens before
+        # any session exists, so replay has nothing to replicate.
+        node.register_protocol("tcp", self._receive)
+
+    def _receive(self, packet):
+        self.retrans_log[packet.flow] = packet  # expect: RPLY001

@@ -1,0 +1,22 @@
+"""Shard dispatch whose workers and merge step break shard-safety."""
+
+from state import note_result, reset_counter
+
+
+def _worker(shard):
+    reset_counter()
+    note_result(shard, 1)
+    return shard
+
+
+def _merge_metrics(parts):
+    merged = []
+    seen = set(parts)
+    for part in seen:  # expect: SHARD002
+        merged.append(part)
+    return merged
+
+
+def run_campaign(pool, shards):
+    results = pool.map_shards(_worker, shards)
+    return _merge_metrics(results)

@@ -1,0 +1,17 @@
+"""fork_mark()/rollback() pairing (SHARD003)."""
+
+
+def bad_fork(obs):
+    mark = obs.fork_mark()  # expect: SHARD003
+    return mark
+
+
+def good_fork(obs, parts):
+    mark = obs.fork_mark()
+    merge_marked(obs, parts, mark)
+
+
+def merge_marked(obs, parts, mark):
+    for part in parts:
+        obs.absorb(part)
+    obs.rollback(mark)

@@ -1,0 +1,19 @@
+"""Module-level state the shard workers (wrongly) write through."""
+
+RESULTS = {}
+TOTALS = []
+
+
+def note_result(key, value):
+    RESULTS[key] = value  # expect: SHARD001
+
+
+def reset_counter():
+    global COUNTER
+    COUNTER = 0  # expect: SHARD001
+
+
+def scoped_results(results):
+    # Clean: ``results`` is a parameter, not the module-level dict.
+    results["ok"] = True
+    return results

@@ -124,18 +124,60 @@ def test_json_schema_is_stable(tmp_path, capsys):
     report = json.loads(capsys.readouterr().out)
     # Top-level shape: fixed keys, nothing extra.  Additions require a
     # version bump plus a docs/LINTING.md update.
-    assert sorted(report) == ["counts", "files_scanned", "findings",
-                              "suppressed", "version"]
-    assert report["version"] == JSON_SCHEMA_VERSION == 1
+    assert sorted(report) == ["baselined", "counts", "errors",
+                              "files_analyzed", "files_from_cache",
+                              "files_scanned", "findings", "suppressed",
+                              "version"]
+    assert report["version"] == JSON_SCHEMA_VERSION == 2
     assert report["files_scanned"] == 1
+    assert report["files_analyzed"] == 1
+    assert report["files_from_cache"] == 0
+    assert report["errors"] == 0
     assert report["suppressed"] == 0
+    assert report["baselined"] == 0
     assert sorted(report["counts"]) == ["error", "warning"]
     assert report["counts"]["error"] == len(report["findings"]) == 2
     for finding in report["findings"]:
-        assert sorted(finding) == ["col", "end_line", "line", "message",
-                                   "path", "rule", "severity", "suppressed"]
+        assert sorted(finding) == ["baselined", "col", "end_line", "line",
+                                   "message", "path", "rule", "severity",
+                                   "suppressed"]
         assert isinstance(finding["line"], int)
         assert finding["severity"] in ("error", "warning")
+
+
+def test_sarif_output_is_structurally_valid(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text(MIXED_SOURCE, encoding="utf-8")
+    assert main([str(target), "--no-config", "--format", "sarif"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == "2.1.0"
+    assert "sarif" in report["$schema"]
+    run = report["runs"][0]
+    driver = run["tool"]["driver"]
+    rule_ids = [r["id"] for r in driver["rules"]]
+    # Catalogue covers every registered rule, sorted, and each result's
+    # ruleIndex points back at its descriptor.
+    assert rule_ids == sorted(all_rules())
+    results = run["results"]
+    assert {r["ruleId"] for r in results} == {"DET001", "UNIT002"}
+    for result in results:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+        assert "suppressions" not in result
+
+
+def test_sarif_marks_suppressed_findings(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("import time\n"
+                      "s = time.time()  # simlint: ignore[DET001]\n",
+                      encoding="utf-8")
+    assert main([str(target), "--no-config", "--format", "sarif"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    results = report["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["suppressions"][0]["kind"] == "inSource"
 
 
 def test_findings_are_deterministically_ordered(tmp_path):

@@ -30,6 +30,12 @@ def test_src_tree_has_zero_unsuppressed_findings():
     # present as *suppressed* findings rather than invisible.
     assert runner.files_scanned >= 80
     assert any(f.suppressed for f in findings)
+    # The project-scope packs run here too: the two documented
+    # shard-protocol deviations (obs re-enable in workers, fork_mark
+    # rolled back by the parent) must show up suppressed, proving the
+    # cross-module analysis actually executed over the real tree.
+    assert {"SHARD001", "SHARD003"} <= {f.rule for f in findings
+                                        if f.suppressed}
 
 
 def test_obs_tree_is_clean_without_suppressions():
