@@ -1,6 +1,6 @@
 """simlint — static analysis for the simulation universe.
 
-Six rule packs guard the invariants the paper's numbers rest on:
+Seven rule packs guard the invariants the paper's numbers rest on:
 
 * :mod:`repro.lint.determinism` (DET001-DET005) — no host clocks, OS
   entropy, shared global ``random``, salted ``hash()`` seeds, or
@@ -12,6 +12,13 @@ Six rule packs guard the invariants the paper's numbers rest on:
 * :mod:`repro.lint.unit_safety` (UNIT001-UNIT004) — suffix-checked unit
   discipline (``_ms``/``_s``/``_miles``/``_bytes``/``_bps``) with
   conversions through :mod:`repro.sim.units` only.
+* :mod:`repro.lint.unit_flow` (UNIT005-UNIT009) — the same unit bugs
+  on values with *no suffix anywhere on the path*: interprocedural
+  unit/dimension inference (:mod:`repro.lint.simtype`) catches mixed
+  arithmetic, wrong-unit ``schedule()``/histogram sinks, inconsistent
+  return units, signature-disagreeing call sites, and double
+  conversions; ``# simlint: unit[TOKEN]`` annotations assert units
+  where no suffix fits.
 * :mod:`repro.lint.event_safety` (EVT001-EVT003) — no re-entrant
   ``Simulator.run()`` (cross-module call graph), no negative constant
   delays, no discarded :class:`~repro.sim.engine.EventHandle` where

@@ -9,11 +9,23 @@ exactly that file.  Project-scope rules always re-run (they are
 cross-file by nature), but on a warm cache they run over restored
 facts without a single re-parse.
 
-The whole cache is invalidated when the rule selection, the facts
-schema, or the rule-pack version changes: the store's *signature*
-covers them all, and a signature mismatch simply starts an empty
-cache.  A corrupt or unreadable cache file is likewise treated as
-empty — the cache can slow a run down, never break it.
+The whole cache is invalidated when anything that shapes results
+changes: the rule selection, the facts schema, the rule-pack version,
+the ``[tool.simlint]`` configuration (an ``exclude`` edit changes what
+the project pass sees), and the lint package's own source (so a rule
+edit can never replay findings computed by older logic, even without a
+manual ``RULEPACK_VERSION`` bump).  The store's *signature* covers them
+all, and a signature mismatch simply starts an empty cache.  A corrupt
+or unreadable cache file is likewise treated as empty — the cache can
+slow a run down, never break it.
+
+Besides per-file entries the store carries one store-wide section: the
+inferred unit *signature table* from :mod:`repro.lint.simtype`, keyed
+by a digest of every seen file's content hash.  On a warm run whose
+file set is byte-identical, the table seeds the inference fixpoints —
+the engine starts at the previous solution and converges in one
+verification round, and the runner reports it via
+``signatures_from_cache``.
 """
 
 from __future__ import annotations
@@ -33,11 +45,39 @@ __all__ = ["CacheStore", "RULEPACK_VERSION"]
 RULEPACK_VERSION = 2
 
 #: Shape of the cache file itself.
-_CACHE_SCHEMA = 1
+#: v2: store-wide inferred-signature section ("signatures").
+_CACHE_SCHEMA = 2
 
 
 def _content_key(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+_source_digest_cache: Optional[str] = None
+
+
+def _lint_source_digest() -> str:
+    """Digest of the lint package's own ``.py`` sources.
+
+    Any edit to a rule or the engine changes the digest and therefore
+    the store signature — warm caches can never serve findings a
+    different implementation computed.
+    """
+    global _source_digest_cache
+    if _source_digest_cache is None:
+        digest = hashlib.sha256()
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        for name in sorted(os.listdir(package_dir)):
+            if not name.endswith(".py"):
+                continue
+            digest.update(name.encode("utf-8"))
+            try:
+                with open(os.path.join(package_dir, name), "rb") as fh:
+                    digest.update(fh.read())
+            except OSError:  # pragma: no cover - unreadable install
+                pass
+        _source_digest_cache = digest.hexdigest()[:16]
+    return _source_digest_cache
 
 
 class CacheStore:
@@ -48,6 +88,8 @@ class CacheStore:
         self.signature = signature
         self.entries: Dict[str, Dict[str, Any]] = {}
         self._seen: List[str] = []
+        #: {"key": files digest, "table": simtype signature table}
+        self._signatures: Optional[Dict[str, Any]] = None
 
     @classmethod
     def open(cls, path: str, runner) -> "CacheStore":
@@ -59,6 +101,7 @@ class CacheStore:
             if (data.get("schema") == _CACHE_SCHEMA
                     and data.get("signature") == signature):
                 store.entries = data.get("files", {})
+                store._signatures = data.get("signatures")
         except (OSError, ValueError):
             pass  # absent or corrupt: start cold
         return store
@@ -68,8 +111,15 @@ class CacheStore:
         rule_ids = sorted(
             cls.id for cls in (runner.rule_classes
                                + runner.project_rule_classes))
-        return "v%d/facts%d/rules:%s" % (
-            RULEPACK_VERSION, FACTS_VERSION, ",".join(rule_ids))
+        config = runner.config
+        config_fp = hashlib.sha256(json.dumps({
+            "enable": sorted(config.enable),
+            "disable": sorted(config.disable),
+            "exclude": sorted(config.exclude),
+        }, sort_keys=True).encode("utf-8")).hexdigest()[:16]
+        return "v%d/facts%d/src:%s/cfg:%s/rules:%s" % (
+            RULEPACK_VERSION, FACTS_VERSION, _lint_source_digest(),
+            config_fp, ",".join(rule_ids))
 
     # -- per-file protocol ---------------------------------------------
     def restore(self, runner, path: str,
@@ -110,6 +160,31 @@ class CacheStore:
             "suppressions": suppressions.to_json(),
         }
 
+    # -- store-wide inferred signatures --------------------------------
+    def files_key(self) -> str:
+        """Digest of every seen file's (path, content hash) pair — the
+        validity condition for the persisted signature table."""
+        digest = hashlib.sha256()
+        for path in sorted(set(self._seen)):
+            entry = self.entries.get(path)
+            if entry is not None:
+                digest.update(path.encode("utf-8"))
+                digest.update(entry["key"].encode("utf-8"))
+        return digest.hexdigest()
+
+    def restore_signatures(self) -> Optional[Dict[str, Any]]:
+        """The cached simtype signature table, if it was computed from
+        exactly the file contents this run saw (call after the per-file
+        pass)."""
+        if (self._signatures is not None
+                and self._signatures.get("key") == self.files_key()):
+            return self._signatures.get("table")
+        return None
+
+    def record_signatures(self, table: Optional[Dict[str, Any]]) -> None:
+        if table is not None:
+            self._signatures = {"key": self.files_key(), "table": table}
+
     def save(self) -> None:
         # Keep only files this run actually visited, so deleted or
         # newly-excluded files do not accumulate forever.
@@ -117,7 +192,7 @@ class CacheStore:
         files = {path: entry for path, entry in self.entries.items()
                  if path in seen}
         payload = {"schema": _CACHE_SCHEMA, "signature": self.signature,
-                   "files": files}
+                   "files": files, "signatures": self._signatures}
         tmp = self.path + ".tmp"
         try:
             with open(tmp, "w", encoding="utf-8") as handle:

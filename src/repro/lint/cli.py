@@ -35,7 +35,10 @@ from repro.lint.framework import (
 #: update docs/LINTING.md plus tests/test_lint_config.py.
 #: v2: added per-finding "baselined" plus top-level "baselined",
 #: "errors", "files_analyzed" and "files_from_cache".
-JSON_SCHEMA_VERSION = 2
+#: v3: added "signatures_from_cache" (inferred unit signatures restored
+#: from a warm cache) and, under ``--stats``, a "stats" section with
+#: per-rule-pack timing.
+JSON_SCHEMA_VERSION = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore any cache configured in pyproject")
     parser.add_argument("--show-suppressed", action="store_true",
                         help="also list suppressed findings in text output")
+    parser.add_argument("--stats", action="store_true",
+                        help="measure per-rule-pack analyzer time and "
+                             "report it (text: a table on stderr; json: "
+                             "a \"stats\" section)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -114,6 +121,29 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
     return config
 
 
+def _pack_times(runner: LintRunner) -> dict:
+    """Aggregate per-rule wall time to rule packs (rule-pack module
+    name; the shared inference engine keeps its own row)."""
+    rules = all_rules()
+    packs: dict = {}
+    for key, seconds in runner.rule_times.items():
+        cls = rules.get(key)
+        pack = (cls.__module__.rsplit(".", 1)[-1] if cls is not None
+                else key)
+        packs[pack] = packs.get(pack, 0.0) + seconds
+    return packs
+
+
+def _render_stats(runner: LintRunner, out) -> None:
+    packs = _pack_times(runner)
+    total = sum(packs.values())
+    print("analyzer time by rule pack:", file=out)
+    for pack in sorted(packs, key=lambda p: (-packs[p], p)):
+        print("  %-20s %8.1f ms" % (pack, packs[pack] * 1000.0),
+              file=out)
+    print("  %-20s %8.1f ms" % ("total", total * 1000.0), file=out)
+
+
 def _render_text(findings: List[Finding], runner: LintRunner,
                  show_suppressed: bool, out) -> None:
     blocking = [f for f in findings if f.blocking]
@@ -125,6 +155,9 @@ def _render_text(findings: List[Finding], runner: LintRunner,
     baselined = sum(1 for f in findings if f.baselined)
     cached = (", %d from cache" % runner.files_from_cache
               if runner.files_from_cache else "")
+    if runner.signatures_from_cache:
+        cached += (", %d inferred signature(s) restored"
+                   % runner.signatures_from_cache)
     print("%d file(s) scanned%s: %d finding(s), %d suppressed, "
           "%d baselined, %d error(s)"
           % (runner.files_scanned, cached, len(blocking), suppressed,
@@ -141,12 +174,15 @@ def _render_json(findings: List[Finding], runner: LintRunner, out) -> None:
         "files_scanned": runner.files_scanned,
         "files_analyzed": runner.files_analyzed,
         "files_from_cache": runner.files_from_cache,
+        "signatures_from_cache": runner.signatures_from_cache,
         "errors": runner.errors,
         "counts": counts,
         "suppressed": sum(1 for f in findings if f.suppressed),
         "baselined": sum(1 for f in findings if f.baselined),
         "findings": [f.as_dict() for f in findings],
     }
+    if runner.collect_stats:
+        report["stats"] = {"rule_pack_seconds": _pack_times(runner)}
     json.dump(report, out, indent=2, sort_keys=True)
     out.write("\n")
 
@@ -176,6 +212,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         config = _resolve_config(args)
         runner = LintRunner(config)
+        runner.collect_stats = args.stats
         findings = runner.run_paths(args.paths)
         if args.write_baseline:
             from repro.lint.baseline import write_baseline
@@ -196,6 +233,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _render_sarif(findings, sys.stdout)
     else:
         _render_text(findings, runner, args.show_suppressed, sys.stdout)
+        if args.stats:
+            _render_stats(runner, sys.stderr)
     if runner.errors:
         return 2
     return 1 if any(f.blocking for f in findings) else 0

@@ -29,6 +29,7 @@ import ast
 import dataclasses
 import os
 import re
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -158,6 +159,7 @@ def _load_rule_packs() -> None:
         event_safety,
         replay_safety,
         shard_safety,
+        unit_flow,
         unit_safety,
     )
 
@@ -523,10 +525,19 @@ class LintRunner:
         self.files_analyzed = 0
         #: files whose findings were restored from the incremental cache
         self.files_from_cache = 0
+        #: inferred function signatures restored from the cache and used
+        #: to seed the simtype fixpoints (0 on cold or changed trees)
+        self.signatures_from_cache = 0
         #: hard failures: unreadable/unparseable files, crashed rules
         self.errors = 0
+        #: ``--stats``: accumulate per-rule wall time into rule_times
+        self.collect_stats = False
+        #: rule id (or "simtype-engine") -> seconds spent this run
+        self.rule_times: Dict[str, float] = {}
         self._facts_by_path: Dict[str, Any] = {}
         self._suppressions: Dict[str, _Suppressions] = {}
+        self._unit_signature_seed: Optional[Dict[str, Any]] = None
+        self._unit_signature_table: Optional[Dict[str, Any]] = None
 
     # -- discovery ----------------------------------------------------
     def iter_python_files(self, paths: Sequence[str]) -> List[str]:
@@ -560,8 +571,11 @@ class LintRunner:
         findings: List[Finding] = []
         for path in self.iter_python_files(paths):
             findings.extend(self._run_file_cached(path, store))
+        if store is not None:
+            self._unit_signature_seed = store.restore_signatures()
         findings.extend(self.run_project())
         if store is not None:
+            store.record_signatures(self._unit_signature_table)
             store.save()
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
@@ -610,14 +624,18 @@ class LintRunner:
                 if attr.startswith("visit_"):
                     node_type = attr[len("visit_"):]
                     dispatch.setdefault(node_type, []).append(
-                        getattr(rule, attr))
+                        (rule.id, getattr(rule, attr)))
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 child._simlint_parent = parent  # type: ignore[attr-defined]
         try:
-            for node in ast.walk(tree):
-                for method in dispatch.get(type(node).__name__, ()):
-                    method(node)
+            if self.collect_stats:
+                self._walk_timed(tree, dispatch)
+            else:
+                for node in ast.walk(tree):
+                    for _rule_id, method in dispatch.get(
+                            type(node).__name__, ()):
+                        method(node)
             for rule in rules:
                 rule.end_file()
         except Exception as exc:  # crashed rule: diagnose, keep going
@@ -629,7 +647,12 @@ class LintRunner:
         if self.project_rule_classes:
             try:
                 from repro.lint.project import extract_module_facts
-                self._facts_by_path[path] = extract_module_facts(path, tree)
+                facts = extract_module_facts(path, tree, source=source)
+                self._facts_by_path[path] = facts
+                for lineno, token in facts.bad_unit_annotations:
+                    ctx.report(_MetaRule(ctx), None,
+                               "unit annotation names unknown unit %r"
+                               % token, line=lineno)
             except Exception as exc:  # pragma: no cover - defensive
                 self.errors += 1
                 ctx.report(_MetaRule(ctx), None,
@@ -652,18 +675,63 @@ class LintRunner:
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
+    # -- stats ---------------------------------------------------------
+    def _walk_timed(self, tree: ast.Module, dispatch) -> None:
+        """The ``--stats`` variant of the dispatch walk: identical
+        visit order, with per-rule wall time accumulated."""
+        clock = time.perf_counter  # simlint: ignore[DET001] timing the tool itself
+        times = self.rule_times
+        for node in ast.walk(tree):
+            for rule_id, method in dispatch.get(type(node).__name__, ()):
+                start = clock()
+                method(node)
+                times[rule_id] = times.get(rule_id, 0.0) \
+                    + clock() - start
+
+    def _run_timed(self, key: str, fn, *args):
+        if not self.collect_stats:
+            return fn(*args)
+        start = time.perf_counter()  # simlint: ignore[DET001] timing the tool itself
+        try:
+            return fn(*args)
+        finally:
+            self.rule_times[key] = self.rule_times.get(key, 0.0) \
+                + time.perf_counter() - start  # simlint: ignore[DET001] timing the tool itself
+
     # -- project pass --------------------------------------------------
+    def _build_unit_engine(self, project) -> None:
+        """Run simtype inference once (shared by the UNIT flow rules),
+        collect its signature table for the cache, and count restored
+        signatures when the cached table seeded the fixpoints."""
+        try:
+            from repro.lint.simtype import shared_units
+            analysis = shared_units(project)
+        except Exception:  # pragma: no cover - surfaced by the rules
+            return
+        self._unit_signature_table = analysis.signature_table()
+        if analysis.seeded:
+            self.signatures_from_cache = len(
+                self._unit_signature_seed or {})
+
     def run_project(self) -> List[Finding]:
         """Run project-scope rules over every file linted so far."""
         if not self.project_rule_classes or not self._facts_by_path:
             return []
         from repro.lint.project import ProjectContext
         project = ProjectContext(list(self._facts_by_path.values()))
+        if self._unit_signature_seed:
+            project.unit_signature_seed = self._unit_signature_seed
+        if any(cls.id.startswith("UNIT")
+               for cls in self.project_rule_classes):
+            # Build the inference engine under its own stats entry, so
+            # pack timings compare rule cost rather than who ran first.
+            self._run_timed("simtype-engine", self._build_unit_engine,
+                            project)
         findings: List[Finding] = []
         for cls in self.project_rule_classes:
             rule = cls()
             try:
-                rule.check(project)
+                self._run_timed(cls.id, rule.check, project)
             except Exception as exc:
                 self.errors += 1
                 findings.append(Finding(

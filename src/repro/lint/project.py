@@ -30,6 +30,7 @@ from __future__ import annotations
 import ast
 import dataclasses
 import os
+import re
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
@@ -41,10 +42,14 @@ __all__ = [
     "ProjectRule",
     "extract_module_facts",
     "module_name_for_path",
+    "parse_unit_annotations",
 ]
 
 #: Bump when the facts shape changes — part of the incremental-cache key.
-FACTS_VERSION = 1
+#: v2: unit-expression summaries (``unit_assigns``/``unit_returns``/
+#: ``unit_exprs``/``ArgFacts.expr``) and ``# simlint: unit[...]``
+#: annotations, feeding :mod:`repro.lint.simtype`.
+FACTS_VERSION = 2
 
 SCHEDULE_ATTRS = ("schedule", "call_at")
 
@@ -65,13 +70,17 @@ class ArgFacts:
     slot: object  # int position or keyword name (str)
     names: List[str]
     calls: List[int]  # indexes into the owning FunctionFacts.calls
+    #: unit-expression summary of the argument (see module docstring of
+    #: :mod:`repro.lint.simtype` for the encoding)
+    expr: list = dataclasses.field(default_factory=lambda: ["?"])
 
     def to_json(self) -> list:
-        return [self.slot, self.names, self.calls]
+        return [self.slot, self.names, self.calls, self.expr]
 
     @classmethod
     def from_json(cls, data: list) -> "ArgFacts":
-        return cls(slot=data[0], names=list(data[1]), calls=list(data[2]))
+        return cls(slot=data[0], names=list(data[1]), calls=list(data[2]),
+                   expr=list(data[3]))
 
 
 @dataclasses.dataclass
@@ -138,6 +147,15 @@ class FunctionFacts:
         default_factory=list)
     #: (line, accumulates) — `for` over a set-valued iterable
     set_loops: List[list] = dataclasses.field(default_factory=list)
+    #: (target names, uexpr, line) — unit-expression view of each
+    #: assignment, independent of ``assigns`` so the taint engine's
+    #: 4-tuple unpacking stays untouched
+    unit_assigns: List[list] = dataclasses.field(default_factory=list)
+    #: (uexpr, line) per return statement
+    unit_returns: List[list] = dataclasses.field(default_factory=list)
+    #: uexprs of bare expression statements / branch conditions (unit
+    #: mixes in comparisons live here)
+    unit_exprs: List[list] = dataclasses.field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -148,6 +166,8 @@ class FunctionFacts:
             "gdecl": self.global_declares, "gw": self.global_writes,
             "mut": self.mutations, "asw": self.attr_subscript_writes,
             "setl": self.set_loops,
+            "ua": self.unit_assigns, "ur": self.unit_returns,
+            "ue": self.unit_exprs,
         }
 
     @classmethod
@@ -162,7 +182,10 @@ class FunctionFacts:
             global_writes=[list(w) for w in data["gw"]],
             mutations=[list(m) for m in data["mut"]],
             attr_subscript_writes=[list(w) for w in data["asw"]],
-            set_loops=[list(s) for s in data["setl"]])
+            set_loops=[list(s) for s in data["setl"]],
+            unit_assigns=[list(a) for a in data["ua"]],
+            unit_returns=[list(r) for r in data["ur"]],
+            unit_exprs=[list(e) for e in data["ue"]])
 
 
 @dataclasses.dataclass
@@ -180,6 +203,12 @@ class ModuleFacts:
     #: module-level string-collection constants -> (line, strings)
     module_constants: Dict[str, list] = dataclasses.field(
         default_factory=dict)
+    #: line -> unit token from ``# simlint: unit[...]`` annotations
+    unit_annotations: Dict[int, str] = dataclasses.field(
+        default_factory=dict)
+    #: (line, token) for annotations naming an unknown unit token
+    bad_unit_annotations: List[list] = dataclasses.field(
+        default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -189,6 +218,9 @@ class ModuleFacts:
                           for q, f in self.functions.items()},
             "mutables": self.module_mutables,
             "constants": self.module_constants,
+            "units": {str(line): token
+                      for line, token in self.unit_annotations.items()},
+            "bad_units": self.bad_unit_annotations,
         }
 
     @classmethod
@@ -200,7 +232,10 @@ class ModuleFacts:
                        for q, f in data["functions"].items()},
             module_mutables=dict(data["mutables"]),
             module_constants={k: list(v)
-                              for k, v in data["constants"].items()})
+                              for k, v in data["constants"].items()},
+            unit_annotations={int(line): token
+                              for line, token in data["units"].items()},
+            bad_unit_annotations=[list(b) for b in data["bad_units"]])
 
 
 # ---------------------------------------------------------------------------
@@ -228,6 +263,42 @@ def module_name_for_path(path: str) -> str:
 
 
 # ---------------------------------------------------------------------------
+# unit annotations
+# ---------------------------------------------------------------------------
+#: Tokens are lowercase by construction (the suffix vocabulary), so an
+#: uppercase placeholder in prose (``unit[TOKEN]``) is not an
+#: annotation at all rather than a bad one.
+_UNIT_ANNOTATION_RE = re.compile(
+    r"#\s*simlint:\s*unit\[\s*([a-z0-9_]+)\s*\]")
+
+
+def parse_unit_annotations(source: str
+                           ) -> Tuple[Dict[int, str], List[list]]:
+    """``# simlint: unit[TOKEN]`` comments, as {line: token} + bad list.
+
+    Tokens are validated against the unit vocabulary in
+    :data:`repro.lint.unit_safety.ANNOTATION_UNITS`; unknown tokens are
+    returned separately so the framework can surface them as META001
+    findings instead of silently ignoring a typo'd annotation.
+    """
+    from repro.lint.unit_safety import ANNOTATION_UNITS
+    annotations: Dict[int, str] = {}
+    bad: List[list] = []
+    if "simlint" not in source:
+        return annotations, bad
+    for lineno, text in enumerate(source.splitlines(), 1):
+        if "simlint" not in text:
+            continue
+        for match in _UNIT_ANNOTATION_RE.finditer(text):
+            token = match.group(1)
+            if token in ANNOTATION_UNITS:
+                annotations[lineno] = token
+            else:
+                bad.append([lineno, token])
+    return annotations, bad
+
+
+# ---------------------------------------------------------------------------
 # facts extraction
 # ---------------------------------------------------------------------------
 class _FactsExtractor:
@@ -235,6 +306,10 @@ class _FactsExtractor:
 
     def __init__(self, module: str, path: str, tree: ast.Module):
         self.facts = ModuleFacts(module=module, path=path)
+        #: id(ast.Call) -> index into the current function's call list,
+        #: so unit expressions can reference the CallFacts produced by
+        #: the same traversal
+        self._call_ids: Dict[int, int] = {}
         self._collect_imports(tree)
         for stmt in tree.body:
             self._module_level(stmt)
@@ -303,6 +378,7 @@ class _FactsExtractor:
         self._sim_locals = _collect_sim_locals(node, self.facts.imports)
         self._set_names: Set[str] = set()
         self._current = fn
+        self._call_ids = {}
         for stmt in node.body:
             self._stmt(stmt)
         # Immediately-nested defs: extract as their own functions, plus
@@ -331,6 +407,7 @@ class _FactsExtractor:
         elif isinstance(stmt, ast.Return) and stmt.value is not None:
             names, calls = self._summarize(stmt.value)
             fn.returns.append([names, calls, stmt.lineno])
+            fn.unit_returns.append([self._uexpr(stmt.value), stmt.lineno])
         elif isinstance(stmt, ast.For):
             self._for_loop(stmt)
         elif isinstance(stmt, ast.Delete):
@@ -343,6 +420,9 @@ class _FactsExtractor:
         else:
             for value in _stmt_exprs(stmt):
                 self._summarize(value)
+                uexpr = self._uexpr(value)
+                if uexpr != ["?"]:
+                    fn.unit_exprs.append(uexpr)
         # Recurse into compound statement bodies.
         for child in ast.iter_child_nodes(stmt):
             if isinstance(child, ast.stmt):
@@ -381,19 +461,53 @@ class _FactsExtractor:
         if isinstance(stmt, ast.AugAssign):
             names = names + [n for n in target_names]
         fn.assigns.append([target_names, names, calls, stmt.lineno])
+        self._unit_assignment(stmt, targets, value)
         # DET005-style set tracking for SHARD002's loop check.
         if value is not None and _is_set_expr(value, self._set_names):
             self._set_names.update(n for n in target_names)
         else:
             self._set_names.difference_update(target_names)
 
+    def _unit_assignment(self, stmt: ast.stmt, targets,
+                         value: Optional[ast.expr]) -> None:
+        """Unit-expression view of one assignment (see simtype)."""
+        if value is None:
+            return
+        fn = self._current
+        unit_targets: List[str] = []
+        for target in _flatten_targets(targets):
+            if isinstance(target, ast.Name):
+                unit_targets.append(target.id)
+            elif isinstance(target, ast.Attribute):
+                unit_targets.append(target.attr)
+            elif isinstance(target, ast.Subscript):
+                key = _subscript_key(target)
+                if key is not None:
+                    unit_targets.append(key)
+        if not unit_targets:
+            return
+        uexpr = self._uexpr(value)
+        if isinstance(stmt, ast.AugAssign):
+            op = _BINOP_TOKENS.get(type(stmt.op))
+            if op is None:
+                uexpr = ["?"]
+            else:
+                uexpr = [op, self._uexpr(stmt.target), uexpr,
+                         stmt.lineno, stmt.col_offset]
+        fn.unit_assigns.append([unit_targets, uexpr, stmt.lineno])
+
     def _for_loop(self, stmt: ast.For) -> None:
         fn = self._current
         self._summarize(stmt.iter)
+        loop_targets: List[str] = []
         for target in _flatten_targets([stmt.target]):
             if isinstance(target, ast.Name):
                 # loop variable: kill any set-ness
                 self._set_names.discard(target.id)
+                loop_targets.append(target.id)
+        if loop_targets:
+            # Loop variables get unknown units (kill stale bindings).
+            fn.unit_assigns.append([loop_targets, ["?"], stmt.lineno])
         if _is_set_expr(stmt.iter, self._set_names):
             accumulates = _body_accumulates(stmt)
             fn.set_loops.append([stmt.lineno, accumulates])
@@ -417,7 +531,9 @@ class _FactsExtractor:
                 names.append(node.id)
             return
         if isinstance(node, ast.Call):
-            calls.append(self._call(node))
+            index = self._call(node)
+            self._call_ids[id(node)] = index
+            calls.append(index)
             return
         if isinstance(node, ast.Lambda):
             return  # lambda bodies are summarized only when scheduled
@@ -443,13 +559,15 @@ class _FactsExtractor:
                 arg = arg.value
             a_names, a_calls = self._summarize(arg)
             arg_facts.append(ArgFacts(slot=index, names=a_names,
-                                      calls=a_calls))
+                                      calls=a_calls,
+                                      expr=self._uexpr(arg)))
             if index == 0 and isinstance(arg, ast.Name):
                 first_arg_name = arg.id
         for keyword in node.keywords:
             a_names, a_calls = self._summarize(keyword.value)
             arg_facts.append(ArgFacts(slot=keyword.arg or "**",
-                                      names=a_names, calls=a_calls))
+                                      names=a_names, calls=a_calls,
+                                      expr=self._uexpr(keyword.value)))
         call = CallFacts(
             target=target, bare=bare, attr=attr, receiver=receiver,
             line=node.lineno, col=node.col_offset,
@@ -475,6 +593,76 @@ class _FactsExtractor:
                 and isinstance(func.value, ast.Name)):
             fn.mutations.append([func.value.id, attr, node.lineno])
         return len(fn.calls) - 1
+
+    # -- unit expressions ----------------------------------------------
+    def _uexpr(self, node: ast.expr) -> list:
+        """Compact, JSON-serializable unit-expression for simtype.
+
+        Encoding (nested lists): ``["n", name]`` name read, ``["a",
+        attr]`` attribute/constant-key field read, ``["c", i]`` result
+        of call *i* of this function, ``["#"]`` numeric literal,
+        ``["+"|"-"|"*"|"/", left, right, line, col]`` arithmetic,
+        ``["cmp", [operands...], line, col]`` an order/equality
+        comparison, ``["j", a, b]`` a branch join (conditional
+        expression), ``["?"]`` anything the analysis cannot see
+        through.
+        """
+        if isinstance(node, ast.Name):
+            return ["n", node.id]
+        if isinstance(node, ast.Attribute):
+            return ["a", node.attr]
+        if isinstance(node, ast.Subscript):
+            key = _subscript_key(node)
+            return ["a", key] if key is not None else ["?"]
+        if isinstance(node, ast.Call):
+            index = self._call_ids.get(id(node))
+            return ["c", index] if index is not None else ["?"]
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) \
+                    and not isinstance(node.value, bool):
+                return ["#"]
+            return ["?"]
+        if isinstance(node, ast.BinOp):
+            op = _BINOP_TOKENS.get(type(node.op))
+            if op is None:
+                return ["?"]
+            return [op, self._uexpr(node.left), self._uexpr(node.right),
+                    node.lineno, node.col_offset]
+        if isinstance(node, ast.UnaryOp) \
+                and isinstance(node.op, (ast.USub, ast.UAdd)):
+            return self._uexpr(node.operand)
+        if isinstance(node, ast.IfExp):
+            return ["j", self._uexpr(node.body),
+                    self._uexpr(node.orelse)]
+        if isinstance(node, ast.Compare):
+            if all(isinstance(op, _CMP_OPS) for op in node.ops):
+                operands = [self._uexpr(x)
+                            for x in [node.left] + node.comparators]
+                return ["cmp", operands, node.lineno, node.col_offset]
+            return ["?"]
+        return ["?"]
+
+
+#: AST operator -> uexpr token (operators outside the unit algebra,
+#: e.g. ``%`` and ``**``, summarize to unknown).
+_BINOP_TOKENS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "/",
+}
+
+_CMP_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _subscript_key(node: ast.Subscript) -> Optional[str]:
+    """Constant-string subscript key (``d["rtt_ms"]`` -> ``rtt_ms``),
+    so dict-field unit flows work like attribute flows."""
+    index = node.slice
+    if isinstance(index, ast.Constant) and isinstance(index.value, str):
+        return index.value
+    return None
 
 
 def _stmt_exprs(stmt: ast.stmt) -> Iterable[ast.expr]:
@@ -599,10 +787,20 @@ def _callback_expr(node: ast.Call) -> Optional[ast.expr]:
 
 
 def extract_module_facts(path: str, tree: ast.Module,
-                         module: Optional[str] = None) -> ModuleFacts:
-    """Extract :class:`ModuleFacts` for one parsed module."""
+                         module: Optional[str] = None,
+                         source: Optional[str] = None) -> ModuleFacts:
+    """Extract :class:`ModuleFacts` for one parsed module.
+
+    ``source`` (when available) is scanned for ``# simlint: unit[...]``
+    annotations; extraction itself is purely syntactic over the AST.
+    """
     name = module or module_name_for_path(path)
-    return _FactsExtractor(name, path, tree).facts
+    facts = _FactsExtractor(name, path, tree).facts
+    if source is not None:
+        annotations, bad = parse_unit_annotations(source)
+        facts.unit_annotations = annotations
+        facts.bad_unit_annotations = bad
+    return facts
 
 
 # ---------------------------------------------------------------------------

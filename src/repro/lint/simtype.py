@@ -1,0 +1,659 @@
+"""simtype — interprocedural (dimension, unit) inference for simlint.
+
+The suffix rules (UNIT001-UNIT004) only see values whose *names* carry
+a unit.  An unsuffixed local, a helper return value, or a dict field
+laundered through one function call drops out of checking entirely —
+exactly where a silent ms<->s or bytes<->bps slip corrupts every
+landmark (tb, t1-t5, Tfetch, Tproc) downstream.  This module closes
+that gap with a small abstract interpretation over the unit-expression
+summaries that :mod:`repro.lint.project` extracts per module:
+
+* **Lattice.**  An abstract value is ``None`` (unknown, the bottom), a
+  concrete ``(dimension, unit)`` pair (``("time", "ms")``), a parameter
+  placeholder (inside the symbolic pass), or :data:`CONFLICT` (the
+  top).  :func:`join` merges branch values: any two *distinct* known
+  values join to CONFLICT, which downstream checks treat as "no
+  information" — the analysis never reports a mix it merely suspects.
+* **Seeds.**  Suffixed identifiers (``rtt_ms``), the
+  :mod:`repro.sim.units` conversion helpers (whose argument and return
+  units are tabulated in :mod:`repro.lint.unit_safety`), and explicit
+  ``# simlint: unit[TOKEN]`` annotations on assignments (the annotated
+  line's targets take the declared unit, trusted over inference — the
+  escape hatch) or on ``def`` lines (declares the return unit).
+* **Algebra.**  ``ms + ms = ms``; ``ms + s`` is a *mix* diagnostic;
+  ``bytes / s = bytes_per_s``; ``bytes / bytes_per_s = s``;
+  ``x * dimensionless = x``; ``x / x = dimensionless``; anything the
+  tables don't cover evaluates to unknown rather than guessing.
+* **Interprocedural propagation.**  A bottom-up fixpoint computes each
+  function's return unit (parameter-polymorphic: ``return x`` yields a
+  placeholder instantiated per call site) and its *demands* — units a
+  parameter must have for the body to type (``delay + grace_s`` demands
+  seconds of ``delay``).  A top-down fixpoint then pushes concrete
+  argument units into callee parameters, so a mix inside a helper whose
+  arguments are only ever milliseconds is caught with no suffix in
+  sight.  The resulting per-function signature table is persisted in
+  the incremental cache (see :mod:`repro.lint.cache`) and used to seed
+  the fixpoint on warm runs.
+
+The rule pack consuming this engine lives in
+:mod:`repro.lint.unit_flow` (UNIT005-UNIT009).  Everything here is
+pure computation over facts — no ASTs are re-walked, so the analysis
+composes with the incremental facts cache exactly like the taint
+engine in :mod:`repro.lint.dataflow`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.project import (
+    CallFacts,
+    FunctionFacts,
+    ModuleFacts,
+    ProjectContext,
+    SCHEDULE_ATTRS,
+)
+from repro.lint.unit_safety import (
+    ANNOTATION_UNITS,
+    CONVERSION_PARAMS,
+    CONVERSION_RETURNS,
+    unit_of_name,
+)
+
+__all__ = [
+    "CONFLICT",
+    "DIMENSIONLESS",
+    "SCALE_CONVERSIONS",
+    "UnitAnalysis",
+    "add_units",
+    "describe_unit",
+    "div_units",
+    "is_concrete",
+    "join",
+    "mul_units",
+    "syntactic_unit",
+]
+
+#: Explicitly unit-free (a ratio, a count scaled by a count).
+DIMENSIONLESS = ("dimensionless", "1")
+
+#: Top of the lattice: two distinct known units met on a join point.
+CONFLICT = ("<conflict>", "<conflict>")
+
+#: Tag for parameter placeholders used during the symbolic pass.
+_PARAM = "<param>"
+
+#: Conversion helpers that are *pure scale changes* (ms<->s, kbps->Bps
+#: ...); feeding one's result straight into another is the
+#: double-conversion pattern UNIT009 flags.  ``propagation_delay`` and
+#: ``transmission_delay`` compute, rather than rescale, so composing
+#: them with a scale conversion is legitimate.
+SCALE_CONVERSIONS = frozenset((
+    "units.ms", "units.us", "units.seconds_to_ms",
+    "units.kbps", "units.mbps", "units.gbps",
+))
+
+#: ``min(a, b)`` and friends return one of their arguments unchanged.
+_PASSTHROUGH_BUILTINS = frozenset(("min", "max", "abs", "round",
+                                   "float", "sorted"))
+
+
+def _param(name: str) -> tuple:
+    return (_PARAM, name)
+
+
+def _is_param(value: Optional[tuple]) -> bool:
+    return value is not None and value[0] == _PARAM
+
+
+def is_concrete(value: Optional[tuple]) -> bool:
+    """True for a usable (dimension, unit) pair — not unknown, not a
+    placeholder, not CONFLICT."""
+    return (value is not None and value != CONFLICT
+            and value[0] != _PARAM)
+
+
+def describe_unit(value: Optional[tuple]) -> str:
+    if value is None:
+        return "unknown"
+    if value == CONFLICT:
+        return "conflicting units"
+    if _is_param(value):
+        return "unit of parameter %r" % value[1]
+    return "%s [%s]" % (value[1], value[0])
+
+
+# ---------------------------------------------------------------------------
+# lattice + algebra
+# ---------------------------------------------------------------------------
+def join(a: Optional[tuple], b: Optional[tuple]) -> Optional[tuple]:
+    """Least upper bound: unknown below everything, CONFLICT on top,
+    all known values (concrete units and placeholders) incomparable.
+
+    Commutative, associative, idempotent — property-tested in
+    tests/test_lint_units.py; the fixpoints rely on monotonicity.
+    """
+    if a is None:
+        return b
+    if b is None or a == b:
+        return a
+    return CONFLICT
+
+
+def add_units(a: Optional[tuple], b: Optional[tuple]
+              ) -> Tuple[Optional[tuple], bool]:
+    """Abstract ``+``/``-``: ``(result, mixed)``.
+
+    ``mixed`` is True only when both operands are concrete and
+    disagree — the UNIT005 condition.  With one side unknown the
+    result optimistically takes the known side, which is what lets a
+    unit propagate through ``total = total + step``.
+    """
+    if is_concrete(a) and is_concrete(b):
+        return (a, False) if a == b else (CONFLICT, True)
+    if is_concrete(a):
+        return a, False
+    if is_concrete(b):
+        return b, False
+    return None, False
+
+
+#: (dimension, unit) x (dimension, unit) -> product unit.
+_MUL_TABLE = {
+    (("rate", "bytes_per_s"), ("time", "s")): ("size", "bytes"),
+    (("speed", "miles_per_s"), ("time", "s")): ("distance", "miles"),
+    (("rate", "per_s"), ("time", "s")): DIMENSIONLESS,
+}
+
+#: numerator x denominator -> quotient unit.
+_DIV_TABLE = {
+    (("size", "bytes"), ("time", "s")): ("rate", "bytes_per_s"),
+    (("distance", "miles"), ("time", "s")): ("speed", "miles_per_s"),
+    (("size", "bytes"), ("rate", "bytes_per_s")): ("time", "s"),
+    (("distance", "miles"), ("speed", "miles_per_s")): ("time", "s"),
+    (DIMENSIONLESS, ("time", "s")): ("rate", "per_s"),
+}
+
+
+def mul_units(a: Optional[tuple], b: Optional[tuple]) -> Optional[tuple]:
+    """Abstract ``*``: dimensionless is the identity, the product table
+    covers the simulator's rate/time/size triangle, everything else is
+    unknown (never a guess)."""
+    if not is_concrete(a) or not is_concrete(b):
+        return None
+    if a == DIMENSIONLESS:
+        return b
+    if b == DIMENSIONLESS:
+        return a
+    return _MUL_TABLE.get((a, b)) or _MUL_TABLE.get((b, a))
+
+
+def div_units(a: Optional[tuple], b: Optional[tuple]) -> Optional[tuple]:
+    """Abstract ``/``: ``x / x`` is dimensionless, ``x / 1`` is ``x``,
+    plus the quotient table."""
+    if not is_concrete(a) or not is_concrete(b):
+        return None
+    if a == b:
+        return DIMENSIONLESS
+    if b == DIMENSIONLESS:
+        return a
+    return _DIV_TABLE.get((a, b))
+
+
+# ---------------------------------------------------------------------------
+# syntactic visibility (overlap guard against UNIT001-UNIT004)
+# ---------------------------------------------------------------------------
+def conversion_tail(call: CallFacts) -> Optional[str]:
+    """``units.ms``-style tail when the call resolves to a conversion
+    helper (mirrors ``_UnitRule.conversion_qual``)."""
+    if not call.target:
+        return None
+    tail = ".".join(call.target.split(".")[-2:])
+    return tail if tail in CONVERSION_RETURNS else None
+
+
+def syntactic_unit(uexpr: Sequence, fn: FunctionFacts) -> Optional[tuple]:
+    """The unit the *per-file* suffix rules already see for this
+    expression, or None.
+
+    Mirrors ``_UnitRule.expr_unit``: suffixed names/attributes,
+    conversion-helper results, and +/- trees of equal such units.  The
+    flow rules skip any mix that is syntactically visible on both
+    sides — those are UNIT001-UNIT004's findings, not duplicates.
+    """
+    kind = uexpr[0]
+    if kind in ("n", "a"):
+        return unit_of_name(uexpr[1])
+    if kind == "c":
+        call = fn.calls[uexpr[1]]
+        tail = conversion_tail(call)
+        return CONVERSION_RETURNS[tail] if tail else None
+    if kind in ("+", "-"):
+        left = syntactic_unit(uexpr[1], fn)
+        if left is not None and left == syntactic_unit(uexpr[2], fn):
+            return left
+    return None
+
+
+# ---------------------------------------------------------------------------
+# per-function result detail
+# ---------------------------------------------------------------------------
+class FunctionUnits:
+    """Concrete unit facts for one function, index-aligned with its
+    :class:`~repro.lint.project.FunctionFacts` lists."""
+
+    __slots__ = ("call_args", "call_out", "mixes", "returns",
+                 "conv_origin")
+
+    def __init__(self, n_calls: int):
+        #: per call: {arg slot -> unit} (slot is int or kwarg name)
+        self.call_args: List[Dict[object, Optional[tuple]]] = [
+            {} for _ in range(n_calls)]
+        #: per call: inferred unit of the call's result
+        self.call_out: List[Optional[tuple]] = [None] * n_calls
+        #: (line, col, op, left unit, right unit, both_syntactic)
+        self.mixes: List[tuple] = []
+        #: (line, unit) per return statement
+        self.returns: List[Tuple[int, Optional[tuple]]] = []
+        #: local/attr name -> conversion tail it was assigned from
+        #: (drives UNIT009's one-hop double-conversion detection)
+        self.conv_origin: Dict[str, str] = {}
+
+
+class UnitAnalysis:
+    """Project-wide unit inference (see module docstring).
+
+    ``seed`` optionally restores a previously persisted signature
+    table (:meth:`signature_table`); the fixpoints then start from the
+    recorded solution and converge in one verification round.
+    ``seeded`` records whether that happened.
+    """
+
+    #: Fixpoint iteration caps; the lattice has height 2 so both loops
+    #: converge long before these on any real project.
+    MAX_SUMMARY_ROUNDS = 10
+    MAX_PARAM_ROUNDS = 10
+
+    def __init__(self, project: ProjectContext,
+                 seed: Optional[dict] = None):
+        self.project = project
+        #: fq -> return-unit summary (may be a parameter placeholder)
+        self.summaries: Dict[str, Optional[tuple]] = {}
+        #: fq -> {param -> demanded unit or CONFLICT} from body usage
+        self.demands: Dict[str, Dict[str, tuple]] = {}
+        #: fq -> {param -> join of concrete argument units at call sites}
+        self.param_in: Dict[str, Dict[str, tuple]] = {}
+        #: fq -> per-return (line, unit) from the symbolic pass — drives
+        #: UNIT007 without call-site noise
+        self.intrinsic_returns: Dict[str, List[tuple]] = {}
+        self.seeded = False
+        self._detail: Dict[str, FunctionUnits] = {}
+        self._demands_on = False
+        self._current_fq: Optional[str] = None
+        if seed:
+            self._apply_seed(seed)
+
+    # -- public API ----------------------------------------------------
+    def run(self) -> None:
+        order = sorted(self.project.functions)
+        self._fixpoint_summaries(order)
+        self._fixpoint_params(order)
+
+    def function_units(self, fq: str) -> FunctionUnits:
+        """Final per-function detail (lazily computed, memoized)."""
+        detail = self._detail.get(fq)
+        if detail is None:
+            _, detail = self._evaluate(fq, self._concrete_env(fq),
+                                       record=True)
+            self._detail[fq] = detail
+        return detail
+
+    def signature_unit(self, fq: str, param: str) -> Optional[tuple]:
+        """The unit the inferred signature assigns to one parameter:
+        the name suffix if present, else a consistent body demand."""
+        suffixed = unit_of_name(param)
+        if suffixed is not None:
+            return suffixed
+        demanded = self.demands.get(fq, {}).get(param)
+        return demanded if is_concrete(demanded) else None
+
+    def signature_table(self) -> dict:
+        """JSON-serializable {fq: {"ret": unit?, "params": {...}}} —
+        what the incremental cache persists and restores."""
+        table: Dict[str, dict] = {}
+        for fq in sorted(self.project.functions):
+            _, fn = self.project.functions[fq]
+            ret = self.summaries.get(fq)
+            params = {}
+            for param in fn.params:
+                unit = self.signature_unit(fq, param)
+                if unit is not None:
+                    params[param] = list(unit)
+            if params or is_concrete(ret) or _is_param(ret):
+                table[fq] = {
+                    "ret": list(ret) if ret is not None else None,
+                    "params": params,
+                }
+        return table
+
+    def _apply_seed(self, table: dict) -> None:
+        for fq, entry in table.items():
+            if fq not in self.project.functions:
+                continue
+            ret = entry.get("ret")
+            if ret is not None:
+                self.summaries[fq] = tuple(ret)
+            demands = self.demands.setdefault(fq, {})
+            for param, unit in entry.get("params", {}).items():
+                if unit_of_name(param) is None:
+                    demands[param] = tuple(unit)
+        self.seeded = bool(table)
+
+    # -- fixpoints -----------------------------------------------------
+    def _fixpoint_summaries(self, order: List[str]) -> None:
+        for fq in order:
+            self.summaries.setdefault(fq, None)
+            self.demands.setdefault(fq, {})
+        self._demands_on = True
+        try:
+            for _ in range(self.MAX_SUMMARY_ROUNDS):
+                changed = False
+                for fq in order:
+                    facts, fn = self.project.functions[fq]
+                    env = self._symbolic_env(facts, fn)
+                    ret, detail = self._evaluate(fq, env, record=True)
+                    self.intrinsic_returns[fq] = [
+                        (line, unit) for line, unit in detail.returns]
+                    merged = join(self.summaries[fq], ret)
+                    if merged != self.summaries[fq]:
+                        self.summaries[fq] = merged
+                        changed = True
+                if not changed:
+                    break
+        finally:
+            self._demands_on = False
+
+    def _fixpoint_params(self, order: List[str]) -> None:
+        for fq in order:
+            self.param_in.setdefault(fq, {})
+        for _ in range(self.MAX_PARAM_ROUNDS):
+            changed = False
+            for fq in order:
+                facts, fn = self.project.functions[fq]
+                _, detail = self._evaluate(fq, self._concrete_env(fq),
+                                           record=True)
+                for index, call in enumerate(fn.calls):
+                    callees = self.project.resolve_call(facts, fn, call)
+                    for callee in callees:
+                        if self._push_args(callee,
+                                           detail.call_args[index],
+                                           call):
+                            changed = True
+            if not changed:
+                break
+
+    def _push_args(self, callee: str,
+                   arg_units: Dict[object, Optional[tuple]],
+                   call: CallFacts) -> bool:
+        _, cfn = self.project.functions[callee]
+        sink = self.param_in[callee]
+        changed = False
+        for pname in cfn.params:
+            incoming = self._bind_param(cfn, pname, arg_units, call)
+            if not is_concrete(incoming):
+                continue
+            merged = join(sink.get(pname), incoming)
+            if merged != sink.get(pname):
+                sink[pname] = merged
+                changed = True
+        return changed
+
+    @staticmethod
+    def _bind_param(cfn: FunctionFacts, pname: str,
+                    arg_units: Dict[object, Optional[tuple]],
+                    call: CallFacts) -> Optional[tuple]:
+        """Unit of the argument(s) that may bind ``pname`` at one call
+        site.  Positional mapping accepts both slot *j* and *j-1*
+        (implicit ``self``), same over-approximation as the taint
+        engine."""
+        out = arg_units.get(pname)
+        if pname in cfn.params:
+            j = cfn.params.index(pname)
+            out = join(out, arg_units.get(j))
+            if j > 0 and cfn.params[0] in ("self", "cls") \
+                    and call.attr is not None:
+                out = join(out, arg_units.get(j - 1))
+        return out
+
+    # -- environments --------------------------------------------------
+    def _symbolic_env(self, facts: ModuleFacts, fn: FunctionFacts
+                      ) -> Dict[str, Optional[tuple]]:
+        env: Dict[str, Optional[tuple]] = {}
+        for param in fn.params:
+            env[param] = unit_of_name(param) or _param(param)
+        return env
+
+    def _concrete_env(self, fq: str) -> Dict[str, Optional[tuple]]:
+        _, fn = self.project.functions[fq]
+        incoming = self.param_in.get(fq, {})
+        env: Dict[str, Optional[tuple]] = {}
+        for param in fn.params:
+            unit = unit_of_name(param)
+            if unit is None:
+                pushed = incoming.get(param)
+                unit = pushed if is_concrete(pushed) else None
+            env[param] = unit
+        return env
+
+    # -- one-function evaluation ---------------------------------------
+    def _evaluate(self, fq: str, env: Dict[str, Optional[tuple]],
+                  record: bool = False
+                  ) -> Tuple[Optional[tuple], FunctionUnits]:
+        facts, fn = self.project.functions[fq]
+        previous_fq = self._current_fq
+        self._current_fq = fq
+        detail = FunctionUnits(len(fn.calls))
+        annotations = facts.unit_annotations
+        ret: Optional[tuple] = None
+        try:
+            # Two passes so loop-carried names converge (same shape as
+            # the taint engine's evaluation).
+            for _ in range(2):
+                memo: Dict[int, Optional[tuple]] = {}
+                detail.returns = []
+                for targets, uexpr, line in fn.unit_assigns:
+                    value = self._expr(uexpr, facts, fn, env, memo,
+                                       detail)
+                    annotated = annotations.get(line)
+                    if annotated is not None:
+                        # The annotation is an assertion: it seeds the
+                        # environment and overrides inference.
+                        value = ANNOTATION_UNITS[annotated]
+                    if uexpr[0] == "c":
+                        tail = conversion_tail(fn.calls[uexpr[1]])
+                    else:
+                        tail = None
+                    for target in targets:
+                        env[target] = value
+                        if tail is not None and tail in SCALE_CONVERSIONS:
+                            detail.conv_origin[target] = tail
+                        else:
+                            detail.conv_origin.pop(target, None)
+                for uexpr, line in fn.unit_returns:
+                    value = self._expr(uexpr, facts, fn, env, memo,
+                                       detail)
+                    annotated = annotations.get(fn.line)
+                    if annotated is not None:
+                        value = ANNOTATION_UNITS[annotated]
+                    detail.returns.append((line, value))
+                for uexpr in fn.unit_exprs:
+                    self._expr(uexpr, facts, fn, env, memo, detail)
+                # Calls reached outside any recorded unit expression
+                # (statement calls in with/for headers, ...) still get
+                # their argument units computed for the sink rules.
+                for index in range(len(fn.calls)):
+                    self._call_unit(facts, fn, index, env, memo, detail)
+            for _line, value in detail.returns:
+                ret = join(ret, value)
+        finally:
+            self._current_fq = previous_fq
+        if record:
+            # Deduplicate the two evaluation passes' diagnostics.
+            seen = set()
+            unique = []
+            for mix in detail.mixes:
+                if mix not in seen:
+                    seen.add(mix)
+                    unique.append(mix)
+            detail.mixes = unique
+        return ret, detail
+
+    def _expr(self, uexpr: Sequence, facts: ModuleFacts,
+              fn: FunctionFacts, env: Dict[str, Optional[tuple]],
+              memo: Dict[int, Optional[tuple]],
+              detail: FunctionUnits) -> Optional[tuple]:
+        kind = uexpr[0]
+        if kind in ("n", "a"):
+            # A suffix is authoritative (UNIT003 guards assignments
+            # *into* suffixed names); fall back to the environment.
+            return unit_of_name(uexpr[1]) or env.get(uexpr[1])
+        if kind == "c":
+            return self._call_unit(facts, fn, uexpr[1], env, memo,
+                                   detail)
+        if kind in ("+", "-"):
+            left = self._expr(uexpr[1], facts, fn, env, memo, detail)
+            right = self._expr(uexpr[2], facts, fn, env, memo, detail)
+            self._demand_pair(left, right)
+            result, mixed = add_units(left, right)
+            if mixed:
+                both = (syntactic_unit(uexpr[1], fn) is not None
+                        and syntactic_unit(uexpr[2], fn) is not None)
+                detail.mixes.append((uexpr[3], uexpr[4], kind,
+                                     left, right, both))
+            return result if not mixed else None
+        if kind == "*":
+            return mul_units(
+                self._expr(uexpr[1], facts, fn, env, memo, detail),
+                self._expr(uexpr[2], facts, fn, env, memo, detail))
+        if kind == "/":
+            return div_units(
+                self._expr(uexpr[1], facts, fn, env, memo, detail),
+                self._expr(uexpr[2], facts, fn, env, memo, detail))
+        if kind == "j":
+            return join(
+                self._expr(uexpr[1], facts, fn, env, memo, detail),
+                self._expr(uexpr[2], facts, fn, env, memo, detail))
+        if kind == "cmp":
+            exprs = uexpr[1]
+            operands = [self._expr(item, facts, fn, env, memo, detail)
+                        for item in exprs]
+            for index in range(len(operands) - 1):
+                first, second = operands[index], operands[index + 1]
+                self._demand_pair(first, second)
+                if is_concrete(first) and is_concrete(second) \
+                        and first != second:
+                    both = all(
+                        syntactic_unit(e, fn) is not None
+                        for e in (exprs[index], exprs[index + 1]))
+                    detail.mixes.append((uexpr[2], uexpr[3], "cmp",
+                                         first, second, both))
+            return None
+        return None
+
+    def _call_unit(self, facts: ModuleFacts, fn: FunctionFacts,
+                   index: int, env: Dict[str, Optional[tuple]],
+                   memo: Dict[int, Optional[tuple]],
+                   detail: FunctionUnits) -> Optional[tuple]:
+        if index in memo:
+            return memo[index]
+        memo[index] = None  # cycle guard; nested args only look back
+        call = fn.calls[index]
+        arg_units: Dict[object, Optional[tuple]] = {}
+        for arg in call.args:
+            arg_units[arg.slot] = self._expr(arg.expr, facts, fn, env,
+                                             memo, detail)
+        out: Optional[tuple] = None
+        tail = conversion_tail(call)
+        if tail is not None:
+            out = CONVERSION_RETURNS[tail]
+            expected = CONVERSION_PARAMS[tail]
+            for slot, want in enumerate(expected):
+                if want is not None:
+                    self._demand_value(arg_units.get(slot), want)
+        elif call.attr in SCHEDULE_ATTRS:
+            for slot in (0, "delay", "time"):
+                self._demand_value(arg_units.get(slot), ("time", "s"))
+        elif call.bare in _PASSTHROUGH_BUILTINS:
+            for arg in call.args:
+                if isinstance(arg.slot, int):
+                    out = join(out, arg_units[arg.slot])
+            if not is_concrete(out):
+                out = None
+        else:
+            callees = self.project.resolve_call(facts, fn, call)
+            for callee in callees:
+                out = join(out, self._instantiate(callee, arg_units,
+                                                  call))
+                cfacts_fn = self.project.functions[callee][1]
+                for pname in cfacts_fn.params:
+                    want = self.signature_unit(callee, pname)
+                    if want is not None:
+                        bound = self._bind_param(cfacts_fn, pname,
+                                                 arg_units, call)
+                        self._demand_value(bound, want)
+            if not is_concrete(out):
+                out = None
+        detail.call_args[index] = arg_units
+        detail.call_out[index] = out
+        memo[index] = out
+        return out
+
+    def _instantiate(self, callee: str,
+                     arg_units: Dict[object, Optional[tuple]],
+                     call: CallFacts) -> Optional[tuple]:
+        summary = self.summaries.get(callee)
+        if summary is None or summary == CONFLICT:
+            return None
+        if _is_param(summary):
+            _, cfn = self.project.functions[callee]
+            bound = self._bind_param(cfn, summary[1], arg_units, call)
+            return bound if is_concrete(bound) else None
+        return summary
+
+    # -- demands -------------------------------------------------------
+    def _demand_pair(self, left: Optional[tuple],
+                     right: Optional[tuple]) -> None:
+        """Record a demand when a parameter placeholder meets a
+        concrete unit in +/-/compare."""
+        if _is_param(left) and is_concrete(right):
+            self._demand(left[1], right)
+        elif _is_param(right) and is_concrete(left):
+            self._demand(right[1], left)
+
+    def _demand_value(self, value: Optional[tuple],
+                      want: tuple) -> None:
+        if _is_param(value):
+            self._demand(value[1], want)
+
+    def _demand(self, param: str, unit: tuple) -> None:
+        if not self._demands_on or self._current_fq is None:
+            return
+        sink = self.demands.setdefault(self._current_fq, {})
+        sink[param] = join(sink.get(param), unit)
+
+
+def shared_units(project: ProjectContext) -> UnitAnalysis:
+    """One unit analysis per lint invocation, shared by the UNIT flow
+    rules (mirrors ``determinism_flow.shared_taint``).
+
+    The runner may attach a persisted signature table as
+    ``project.unit_signature_seed``; the engine records whether it was
+    used on ``project`` so the cache layer can report it.
+    """
+    analysis = getattr(project, "_simtype_units", None)
+    if analysis is None:
+        seed = getattr(project, "unit_signature_seed", None)
+        analysis = UnitAnalysis(project, seed=seed)
+        analysis.run()
+        project._simtype_units = analysis  # type: ignore[attr-defined]
+    return analysis

@@ -1,0 +1,320 @@
+"""Unit-flow rule pack (UNIT005-UNIT009).
+
+The suffix rules (UNIT001-UNIT004) check names; these project-scope
+rules check *values*, using the interprocedural inference engine in
+:mod:`repro.lint.simtype`: a unit propagated through unsuffixed locals,
+helper returns, container fields, and cross-module calls is held to the
+same algebra as a suffixed one.  Every rule skips findings the suffix
+rules already report (both operands syntactically visible), so one
+defect maps to one diagnostic.
+
+* **UNIT005** — ``+``/``-``/comparison mixing inferred units where at
+  least one side carries no suffix.
+* **UNIT006** — a value with a known wrong unit entering a sink with a
+  fixed expected unit: ``schedule()``/``call_at()`` seconds slots, and
+  the ``value`` argument of obs ``Histogram.observe`` /
+  ``MetricsRegistry.observe`` (histogram bounds are in seconds).
+* **UNIT007** — one function returning inconsistent inferred units on
+  different branches (``return rtt_ms`` here, ``return rtt_ms / 1000``
+  there); annotate the ``def`` line to declare the intended unit.
+* **UNIT008** — a call site passing a unit that disagrees with the
+  callee's inferred signature (parameter suffix, body demand, or
+  conversion-helper table) when neither side is suffix-visible at the
+  call.
+* **UNIT009** — a scale-conversion result immediately fed into another
+  scale conversion (``units.seconds_to_ms(units.ms(x))``), directly or
+  through one local; double conversions are always a unit bookkeeping
+  error or dead code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lint.framework import register
+from repro.lint.project import (
+    FunctionFacts,
+    ProjectContext,
+    ProjectRule,
+    SCHEDULE_ATTRS,
+)
+from repro.lint.simtype import (
+    SCALE_CONVERSIONS,
+    UnitAnalysis,
+    conversion_tail,
+    describe_unit,
+    is_concrete,
+    shared_units,
+    syntactic_unit,
+)
+from repro.lint.unit_safety import (
+    CONVERSION_PARAMS,
+    mismatch_kind,
+    unit_of_name,
+)
+
+#: Classes whose ``observe(value)`` records into a seconds-bounded
+#: histogram (see ``repro.obs.metrics.DEFAULT_BOUNDS``).
+_OBSERVE_CLASSES = ("Histogram", "MetricsRegistry")
+
+#: Schedule timing argument slots, positional and keyword.
+_SCHEDULE_SLOTS = (0, "delay", "time")
+
+_SECONDS = ("time", "s")
+
+
+def _arg_expr(call, slot) -> Optional[list]:
+    for arg in call.args:
+        if arg.slot == slot:
+            return arg.expr
+    return None
+
+
+def _slot_syntactic(call, slot, fn: FunctionFacts) -> bool:
+    expr = _arg_expr(call, slot)
+    return expr is not None and syntactic_unit(expr, fn) is not None
+
+
+@register
+class InferredArithmeticRule(ProjectRule):
+    id = "UNIT005"
+    name = "inferred-arithmetic-unit"
+    severity = "error"
+    description = ("Addition, subtraction, or comparison mixes values "
+                   "whose *inferred* units disagree — at least one side "
+                   "carries no suffix, so the per-file UNIT002 rule "
+                   "cannot see the mix.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        analysis = shared_units(project)
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            detail = analysis.function_units(fq)
+            for line, col, op, left, right, both in detail.mixes:
+                if both:
+                    continue  # suffix-visible on both sides: UNIT002
+                verb = ("comparison mixes" if op == "cmp"
+                        else "%s mixes" % op)
+                self.report(
+                    facts.path, line,
+                    "%s inferred %s with %s (%s); convert via "
+                    "repro.sim.units before combining"
+                    % (verb, describe_unit(left), describe_unit(right),
+                       mismatch_kind(left, right)), col=col)
+
+
+@register
+class SinkUnitRule(ProjectRule):
+    id = "UNIT006"
+    name = "sink-unit"
+    severity = "error"
+    description = ("A value whose inferred unit is wrong enters a "
+                   "fixed-unit sink: the seconds slot of schedule()/"
+                   "call_at(), or the value argument of an obs "
+                   "histogram observe() (bounds are in seconds).")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        analysis = shared_units(project)
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            detail = analysis.function_units(fq)
+            for index, call in enumerate(fn.calls):
+                if call.attr in SCHEDULE_ATTRS:
+                    self._check_schedule(facts, fn, call,
+                                         detail.call_args[index])
+                elif call.attr == "observe":
+                    self._check_observe(project, analysis, facts, fn,
+                                        call, detail.call_args[index])
+
+    def _check_schedule(self, facts, fn, call, arg_units) -> None:
+        for slot in _SCHEDULE_SLOTS:
+            unit = arg_units.get(slot)
+            if not is_concrete(unit) or unit == _SECONDS \
+                    or unit[0] == "dimensionless":
+                continue
+            if slot == 0 and _slot_syntactic(call, slot, fn):
+                continue  # suffix-visible: UNIT001's finding
+            self.report(
+                facts.path, call.line,
+                "%s() timing argument expects seconds but the inferred "
+                "unit is %s; convert via repro.sim.units first"
+                % (call.attr, describe_unit(unit)), col=call.col)
+
+    def _check_observe(self, project, analysis: UnitAnalysis, facts,
+                       fn, call, arg_units) -> None:
+        for callee in project.resolve_call(facts, fn, call):
+            cfn = project.functions[callee][1]
+            if cfn.cls not in _OBSERVE_CLASSES \
+                    or "value" not in cfn.params:
+                continue
+            unit = analysis._bind_param(cfn, "value", arg_units, call)
+            # Histograms legitimately hold sizes and counts; only a
+            # time value on the wrong scale is unambiguously a bug.
+            if is_concrete(unit) and unit[0] == "time" \
+                    and unit != _SECONDS:
+                self.report(
+                    facts.path, call.line,
+                    "observe() records into a seconds-bounded histogram "
+                    "but the inferred unit is %s; convert via "
+                    "repro.sim.units first" % describe_unit(unit),
+                    col=call.col)
+                return
+
+
+@register
+class ReturnConsistencyRule(ProjectRule):
+    id = "UNIT007"
+    name = "return-unit-consistency"
+    severity = "error"
+    description = ("A function's branches return values with different "
+                   "inferred units; callers cannot use the result "
+                   "safely.  Declare the intended unit with "
+                   "`# simlint: unit[...]` on the def line, or convert "
+                   "the stray branch.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        analysis = shared_units(project)
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            returns = analysis.intrinsic_returns.get(fq, ())
+            concrete = [(line, unit) for line, unit in returns
+                        if is_concrete(unit)]
+            units = sorted(set(unit for _line, unit in concrete))
+            if len(units) < 2:
+                continue
+            witness = ["%s (line %d)"
+                       % (describe_unit(unit),
+                          min(l for l, u in concrete if u == unit))
+                       for unit in units]
+            self.report(
+                facts.path, fn.line,
+                "%s() returns inconsistent units across branches: %s; "
+                "convert the stray branch or declare the intent with "
+                "`# simlint: unit[...]` on the def line"
+                % (fn.name, ", ".join(witness)))
+
+
+@register
+class SignatureAgreementRule(ProjectRule):
+    id = "UNIT008"
+    name = "signature-agreement"
+    severity = "error"
+    description = ("A call site passes a value whose inferred unit "
+                   "disagrees with the callee's inferred signature "
+                   "(parameter suffix, consistent body usage, or the "
+                   "repro.sim.units conversion tables).")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        analysis = shared_units(project)
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            detail = analysis.function_units(fq)
+            for index, call in enumerate(fn.calls):
+                if call.attr in SCHEDULE_ATTRS:
+                    continue  # UNIT006's sink
+                arg_units = detail.call_args[index]
+                tail = conversion_tail(call)
+                if tail is not None:
+                    self._check_conversion(facts, fn, call, tail,
+                                           arg_units)
+                    continue
+                for callee in project.resolve_call(facts, fn, call):
+                    if self._check_callee(project, analysis, facts, fn,
+                                          call, callee, arg_units):
+                        break
+
+    def _check_conversion(self, facts, fn, call, tail,
+                          arg_units) -> None:
+        for slot, want in enumerate(CONVERSION_PARAMS[tail]):
+            if want is None:
+                continue
+            unit = arg_units.get(slot)
+            if not is_concrete(unit) or unit == want:
+                continue
+            if _slot_syntactic(call, slot, fn):
+                continue  # suffix-visible: UNIT001's finding
+            self.report(
+                facts.path, call.line,
+                "%s(...) expects %s but the inferred unit of argument "
+                "%d is %s (%s)"
+                % (tail, describe_unit(want), slot + 1,
+                   describe_unit(unit), mismatch_kind(want, unit)),
+                col=call.col)
+
+    def _check_callee(self, project, analysis: UnitAnalysis, facts,
+                      fn, call, callee: str, arg_units) -> bool:
+        cfacts, cfn = project.functions[callee]
+        same_module = cfacts.module == facts.module
+        reported = False
+        for pname in cfn.params:
+            want = analysis.signature_unit(callee, pname)
+            if want is None:
+                continue
+            unit = analysis._bind_param(cfn, pname, arg_units, call)
+            if not is_concrete(unit) or unit == want:
+                continue
+            if unit_of_name(pname) is not None and same_module \
+                    and self._any_slot_syntactic(call, fn):
+                continue  # same-file suffix pair: UNIT001's finding
+            self.report(
+                facts.path, call.line,
+                "%s() parameter %r is inferred %s but this call passes "
+                "%s (%s)" % (cfn.name, pname, describe_unit(want),
+                             describe_unit(unit),
+                             mismatch_kind(want, unit)),
+                col=call.col)
+            reported = True
+        return reported
+
+    @staticmethod
+    def _any_slot_syntactic(call, fn) -> bool:
+        return any(syntactic_unit(arg.expr, fn) is not None
+                   for arg in call.args)
+
+
+@register
+class DoubleConversionRule(ProjectRule):
+    id = "UNIT009"
+    name = "double-conversion"
+    severity = "warning"
+    description = ("The result of a repro.sim.units scale conversion is "
+                   "immediately converted again (directly nested or "
+                   "through one local); the round trip is either dead "
+                   "code or a units bookkeeping error.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        analysis = shared_units(project)
+        for fq in sorted(project.functions):
+            facts, fn = project.functions[fq]
+            detail = analysis.function_units(fq)
+            for call in fn.calls:
+                outer = conversion_tail(call)
+                if outer not in SCALE_CONVERSIONS:
+                    continue
+                expr = _arg_expr(call, 0)
+                inner = self._origin(expr, fn, detail)
+                if inner is None:
+                    continue
+                self.report(
+                    facts.path, call.line,
+                    "result of %s(...) is converted again by %s(...); "
+                    "drop one conversion or keep the value in simulator "
+                    "seconds between the two" % (inner, outer),
+                    col=call.col)
+
+    @staticmethod
+    def _origin(expr, fn: FunctionFacts, detail) -> Optional[str]:
+        """Scale-conversion tail the argument directly carries."""
+        if expr is None:
+            return None
+        if expr[0] == "c":
+            tail = conversion_tail(fn.calls[expr[1]])
+            return tail if tail in SCALE_CONVERSIONS else None
+        if expr[0] in ("n", "a"):
+            return detail.conv_origin.get(expr[1])
+        return None

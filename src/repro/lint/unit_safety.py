@@ -70,11 +70,25 @@ SCHEDULE_PARAM_UNITS: Dict[str, Tuple[str, str]] = {
     "call_at": ("time", "s"),
 }
 
+#: Tokens accepted inside ``# simlint: unit[TOKEN]`` annotations (the
+#: suffix vocabulary without the leading underscore, plus explicit
+#: dimensionless).  Consumed by :mod:`repro.lint.simtype` as inference
+#: seeds.
+ANNOTATION_UNITS: Dict[str, Tuple[str, str]] = dict(
+    [(suffix.lstrip("_"), unit) for suffix, unit in SUFFIX_UNITS]
+    + [("dimensionless", ("dimensionless", "1")),
+       ("1", ("dimensionless", "1"))])
+
 
 def unit_of_name(name: str) -> Optional[Tuple[str, str]]:
-    """Map an identifier to its (dimension, unit), or None if unsuffixed."""
+    """Map an identifier to its (dimension, unit), or None if unsuffixed.
+
+    Case-insensitive, so literal-carrying module constants
+    (``SPEED_OF_LIGHT_MILES_PER_S``) seed the same units as locals.
+    """
+    lowered = name.lower()
     for suffix, unit in SUFFIX_UNITS:
-        if name.endswith(suffix) and len(name) > len(suffix):
+        if lowered.endswith(suffix) and len(lowered) > len(suffix):
             return unit
     return None
 

@@ -171,7 +171,7 @@ class FrontEndServer:
         self.active_requests += 1
         self.peak_concurrency = max(self.peak_concurrency,
                                     self.active_requests)
-        delay = self.load_model.draw(
+        delay = self.load_model.draw(  # simlint: unit[s]
             self.streams, "fe-load/%s" % self.node.name,
             concurrency=self.active_requests,
             key=query_id if self.keyed_draws else None)

@@ -1,0 +1,18 @@
+"""Double scale conversions (UNIT009), direct and through one local."""
+
+from repro.sim import units
+
+
+def report_roundtrip(elapsed):
+    scaled = units.ms(elapsed)
+    return units.seconds_to_ms(scaled)  # expect: UNIT009
+
+
+def report_direct(elapsed):
+    return units.seconds_to_ms(units.ms(elapsed))  # expect: UNIT009
+
+
+def transfer_budget(size_bytes, rate_mbps):
+    # Composing a scale conversion with a *computing* helper is fine.
+    bandwidth = units.mbps(rate_mbps)
+    return units.transmission_delay(size_bytes, bandwidth)

@@ -1,0 +1,13 @@
+"""Inconsistent inferred return units across branches (UNIT007)."""
+
+from repro.sim import units
+
+
+def span_duration(raw_s, as_ms):  # expect: UNIT007
+    if as_ms:
+        return units.seconds_to_ms(raw_s)
+    return raw_s
+
+
+def span_duration_ms(raw_s):
+    return units.seconds_to_ms(raw_s)

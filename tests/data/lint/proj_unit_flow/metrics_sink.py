@@ -1,0 +1,19 @@
+"""Seconds-bounded histogram sink (mirrors repro.obs.metrics)."""
+
+from timeline import window
+
+
+class Histogram:
+    def __init__(self):
+        self.count = 0
+
+    def observe(self, value):
+        self.count = self.count + 1
+
+
+def record_window(hist):
+    hist.observe(window())  # expect: UNIT006
+
+
+def record_clean(hist, elapsed_s):
+    hist.observe(elapsed_s)

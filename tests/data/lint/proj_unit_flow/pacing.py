@@ -1,0 +1,5 @@
+"""Callee whose signature declares seconds via its parameter suffix."""
+
+
+def pace(sim, gap_s, cb):
+    sim.schedule(gap_s, cb)

@@ -1,0 +1,17 @@
+"""Wrong-unit value reaching the schedule() seconds slot (UNIT006).
+
+The flagged path is suffix-free end to end: ``window()`` lives in
+another module and returns milliseconds only the interprocedural
+return-unit summary knows about.
+"""
+
+from timeline import window
+
+
+def arm(sim, cb):
+    wait = window()
+    sim.schedule(wait, cb)  # expect: UNIT006
+
+
+def arm_clean(sim, cb):
+    sim.schedule(0.25, cb)

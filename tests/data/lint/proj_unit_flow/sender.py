@@ -1,0 +1,18 @@
+"""Call site disagreeing with an inferred signature (UNIT008).
+
+``pace()`` is defined in another module, so the per-file UNIT001 rule
+never sees its signature; the argument itself is unsuffixed, so only
+inference knows it carries milliseconds.
+"""
+
+from pacing import pace
+from timeline import window
+
+
+def drive(sim, cb):
+    gap = window()
+    pace(sim, gap, cb)  # expect: UNIT008
+
+
+def drive_clean(sim, cb):
+    pace(sim, 0.25, cb)

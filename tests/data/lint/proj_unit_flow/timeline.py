@@ -1,0 +1,24 @@
+"""Unit seeds for the proj_unit_flow fixture.
+
+``window()`` returns milliseconds but no name anywhere in this fixture
+carries an ``_ms`` suffix: every finding downstream of it exercises the
+simtype inference engine, not the suffix rules.
+"""
+
+from repro.sim import units
+
+
+def window():
+    return units.seconds_to_ms(0.25)
+
+
+def total_wait():
+    rtt = window()
+    grace = 0.75  # simlint: unit[s]
+    return rtt + grace  # expect: UNIT005
+
+
+def total_wait_clean():
+    rtt = window()
+    processing = window()
+    return rtt + processing

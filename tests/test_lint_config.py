@@ -126,9 +126,10 @@ def test_json_schema_is_stable(tmp_path, capsys):
     # version bump plus a docs/LINTING.md update.
     assert sorted(report) == ["baselined", "counts", "errors",
                               "files_analyzed", "files_from_cache",
-                              "files_scanned", "findings", "suppressed",
+                              "files_scanned", "findings",
+                              "signatures_from_cache", "suppressed",
                               "version"]
-    assert report["version"] == JSON_SCHEMA_VERSION == 2
+    assert report["version"] == JSON_SCHEMA_VERSION == 3
     assert report["files_scanned"] == 1
     assert report["files_analyzed"] == 1
     assert report["files_from_cache"] == 0

@@ -20,7 +20,8 @@ from tests.test_lint_rules import expected_findings
 FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         "data", "lint")
 
-PROJECT_FIXTURES = ("proj_evt", "proj_flow", "proj_shard", "proj_rply")
+PROJECT_FIXTURES = ("proj_evt", "proj_flow", "proj_shard", "proj_rply",
+                    "proj_unit_flow", "proj_unit_conv")
 
 
 def lint_project(dirname):
@@ -151,6 +152,49 @@ def test_cache_restores_facts_for_project_rules(tmp_path):
     assert [f.as_dict() for f in warm_findings] \
         == [f.as_dict() for f in cold_findings]
     assert any(f.rule == "EVT001" for f in warm_findings)
+
+
+def test_cache_restores_inferred_signatures(tmp_path, capsys):
+    # Beyond module facts, a warm cache must seed the unit-inference
+    # fixpoint with the previous run's signature table — and the seeded
+    # run has to land on byte-identical findings.
+    cache = str(tmp_path / "cache.json")
+    root = os.path.join(FIXTURES, "proj_unit_flow")
+    argv = [root, "--no-config", "--cache", cache, "--format", "json"]
+    assert main(argv) == 1
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["signatures_from_cache"] == 0
+    assert main(argv) == 1
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["files_from_cache"] == warm["files_scanned"]
+    assert warm["files_analyzed"] == 0
+    assert warm["signatures_from_cache"] > 0
+    assert warm["findings"] == cold["findings"]
+
+
+def test_cache_invalidates_on_config_change(tmp_path, capsys):
+    # Cache keys fold in the effective configuration: editing
+    # [tool.simlint] between runs must drop every cached entry, not
+    # replay findings produced under the old rule selection.
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nstart = time.time()\n",
+                      encoding="utf-8")
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.simlint]\n", encoding="utf-8")
+    cache = str(tmp_path / "cache.json")
+    argv = [str(target), "--config", str(pyproject), "--cache", cache,
+            "--format", "json"]
+    assert main(argv) == 1
+    capsys.readouterr()
+    assert main(argv) == 1
+    assert json.loads(capsys.readouterr().out)["files_from_cache"] == 1
+    pyproject.write_text('[tool.simlint]\ndisable = ["UNIT009"]\n',
+                         encoding="utf-8")
+    assert main(argv) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["files_from_cache"] == 0
+    assert report["files_analyzed"] == 1
+    assert report["signatures_from_cache"] == 0
 
 
 # ---------------------------------------------------------------------------
