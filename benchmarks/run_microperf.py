@@ -76,7 +76,14 @@ def provenance() -> dict:
 def load_trajectory() -> dict:
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH) as handle:
-            return json.load(handle)
+            trajectory = json.load(handle)
+        # Every entry carries provenance uniformly: runs recorded
+        # before the stamps existed degrade to "unknown", exactly as a
+        # stampless host run would.
+        for entry in trajectory["runs"]:
+            entry.setdefault("git_sha", "unknown")
+            entry.setdefault("date", "unknown")
+        return trajectory
     return {"benchmark": BENCH_FILE,
             "unit": "milliseconds (median wall-clock)",
             "runs": []}

@@ -95,14 +95,16 @@ def test_bench_single_query_end_to_end(benchmark):
     assert session.complete
 
 
-def _dataset_a_campaign(replay_cache):
+def _dataset_a_campaign(replay_cache, tier="packet"):
     """A small Dataset-A campaign shaped for session-timeline reuse.
 
     Deterministic keyed services and a repeat/interval combination that
     keeps most rounds inside one start-time binade, so the replay cache
     (when enabled) converts the bulk of the 120 sessions into hits.
     The two benchmarks below run the identical campaign with the cache
-    off and on; their ratio is the cache's campaign-level speedup.
+    off and on; their ratio is the cache's campaign-level speedup.  The
+    analytic benchmark runs it once more with ``tier="analytic"``; its
+    ratio against the simulated run is the closed-form model's speedup.
     """
     scenario = Scenario(ScenarioConfig(seed=7, vantage_count=3,
                                        keyed_service_draws=True,
@@ -111,7 +113,7 @@ def _dataset_a_campaign(replay_cache):
                       complexity=0.3)
     return run_dataset_a(scenario, [keyword], repeats=40, interval=3.0,
                          services=[Scenario.GOOGLE],
-                         replay_cache=replay_cache)
+                         replay_cache=replay_cache, tier=tier)
 
 
 def test_bench_dataset_a_campaign_simulated(benchmark):
@@ -129,6 +131,25 @@ def test_bench_dataset_a_campaign_replay_cached(benchmark):
     assert all(s.complete for s in dataset.sessions)
     assert dataset.replay is not None
     assert dataset.replay.hits > len(dataset.sessions) // 2
+
+
+def test_bench_dataset_a_campaign_analytic(benchmark):
+    """The same campaign on the analytic tier (>= 10x target).
+
+    ``tier="analytic"`` serves every admitted session from the closed-
+    form model (repro.sim.analytic) without packet simulation; only the
+    time-origin session is simulated.  Its median against
+    ``test_bench_dataset_a_campaign_simulated`` is the analytic tier's
+    campaign-level speedup; the model's accuracy is asserted separately
+    by the divergence-gate tests and the auto-tier smoke run in CI.
+    """
+    dataset = benchmark(lambda: _dataset_a_campaign(False, "analytic"))
+    assert len(dataset.sessions) == 120
+    assert all(s.complete for s in dataset.sessions)
+    assert dataset.replay is None
+    assert dataset.tier is not None
+    assert dataset.tier.analytic > 100
+    assert dataset.tier.divergences == 0
 
 
 def test_bench_dataset_a_campaign_traced(benchmark):

@@ -162,6 +162,16 @@ def main(argv=None) -> int:
                              "REPRO_REPLAY_CACHE=0.  The cache changes "
                              "no results, only wall-clock time (see "
                              "docs/PERFORMANCE.md)")
+    parser.add_argument("--tier", default=None,
+                        choices=("analytic", "packet", "auto"),
+                        help="campaign execution tier (repro.sim."
+                             "analytic): 'packet' simulates every "
+                             "session (default), 'auto' serves "
+                             "admitted sessions from the closed-form "
+                             "model with seeded packet-level validation "
+                             "and divergence gating, 'analytic' trusts "
+                             "the model outright; equivalent to "
+                             "REPRO_TIER (see docs/PERFORMANCE.md)")
     parser.add_argument("--trace", metavar="PATH",
                         help="enable observability (repro.obs) and "
                              "write the JSONL span/metric export here; "
@@ -191,6 +201,10 @@ def main(argv=None) -> int:
         os.environ["REPRO_CAMPAIGN_SHARDS"] = str(args.shards)
     if args.no_replay_cache:
         os.environ["REPRO_REPLAY_CACHE"] = "0"
+    if args.tier is not None:
+        # Plumbed via the environment so drivers and campaign shards
+        # pick it up without new signatures on every runner.
+        os.environ["REPRO_TIER"] = args.tier
     trace_path = args.trace or obs.env_trace_path()
     if args.trace or args.trace_chrome or args.metrics:
         # Plumbed via the environment too so worker processes of any

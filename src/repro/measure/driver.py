@@ -27,6 +27,7 @@ from repro.measure.emulator import QueryEmulator
 from repro.measure.session import QuerySession
 from repro.services.frontend import FrontEndServer
 from repro.sim.process import Sleep, spawn
+from repro.sim.analytic import TieredSessionManager, TierStats, tier_mode
 from repro.sim.replay import (
     ReplayCache,
     ReplayStats,
@@ -48,6 +49,8 @@ class DatasetA:
         field(default_factory=dict)
     #: Session-replay cache accounting, or None when the cache was off.
     replay: Optional[ReplayStats] = None
+    #: Tiered-execution accounting, or None when tier was "packet".
+    tier: Optional[TierStats] = None
     #: Observability capture (repro.obs), set when tracing is enabled:
     #: canonical serialized spans and the campaign's metric delta.
     trace: Optional[list] = None
@@ -72,6 +75,8 @@ class DatasetB:
     sessions: List[QuerySession] = field(default_factory=list)
     #: Session-replay cache accounting, or None when the cache was off.
     replay: Optional[ReplayStats] = None
+    #: Tiered-execution accounting, or None when tier was "packet".
+    tier: Optional[TierStats] = None
     #: Observability capture (repro.obs), as on :class:`DatasetA`.
     trace: Optional[list] = None
     obs_metrics: Optional[obs.MetricsSnapshot] = None
@@ -103,6 +108,35 @@ def _replay_manager(scenario: Scenario, schedule: SubmissionSchedule,
                                 run_timeout=run_timeout)
 
 
+def _campaign_manager(scenario: Scenario, schedule: SubmissionSchedule,
+                      tier: Optional[str], replay_cache,
+                      store_payload: bool,
+                      run_timeout: Optional[float]):
+    """Resolve a driver's executor: tiered, replay-cached, or None.
+
+    ``tier`` follows the ``REPRO_TIER`` env default (see
+    :func:`~repro.sim.analytic.manager.tier_mode`); any mode other than
+    ``packet`` selects the tiered executor, which subsumes the replay
+    cache (its analytic tier already skips the packet engine, and its
+    packet tier is the ground-truth referee).
+    """
+    mode = tier_mode(tier)
+    if mode != "packet":
+        return TieredSessionManager(scenario, schedule, mode=mode,
+                                    store_payload=store_payload,
+                                    run_timeout=run_timeout)
+    return _replay_manager(scenario, schedule, replay_cache,
+                           store_payload, run_timeout)
+
+
+def _finalize_manager(dataset, manager) -> None:
+    """Store the executor's accounting on the dataset it produced."""
+    if isinstance(manager, TieredSessionManager):
+        dataset.tier = manager.finalize()
+    elif manager is not None:
+        dataset.replay = manager.finalize()
+
+
 def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
                   repeats: int = 10,
                   interval: float = 10.0,
@@ -110,7 +144,8 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
                   vantage_points: Optional[Sequence[VantagePoint]] = None,
                   store_payload: bool = False,
                   run_timeout: Optional[float] = None,
-                  replay_cache=None) -> DatasetA:
+                  replay_cache=None,
+                  tier: Optional[str] = None) -> DatasetA:
     """Run the default-FE campaign and return its sessions.
 
     Each vantage point issues ``repeats`` rounds; in every round it sends
@@ -121,6 +156,11 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
     :mod:`repro.sim.replay` and :func:`_replay_manager`); the default
     follows the ``REPRO_REPLAY_CACHE`` environment variable.  The cache
     changes no observable output, only wall-clock time.
+
+    ``tier`` selects the execution tier (``packet``/``analytic``/
+    ``auto``; default from ``REPRO_TIER``).  Modes other than ``packet``
+    route admitted sessions through the closed-form analytic model and
+    set ``dataset.tier`` (see :mod:`repro.sim.analytic`).
     """
     if not keywords:
         raise ValueError("need at least one keyword")
@@ -129,11 +169,11 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
     dataset = DatasetA()
     emulators = []
     staggers = _fleet_staggers(scenario, vps, interval)
-    manager = _replay_manager(
+    manager = _campaign_manager(
         scenario,
         _dataset_a_schedule(scenario, vps, services, repeats, interval,
                             staggers),
-        replay_cache, store_payload, run_timeout)
+        tier, replay_cache, store_payload, run_timeout)
     obs_mark = obs.campaign_begin(scenario)
 
     for vp in vps:
@@ -152,8 +192,7 @@ def run_dataset_a(scenario: Scenario, keywords: Sequence[Keyword], *,
     scenario.sim.run(until=run_timeout)
     for emulator in emulators:
         dataset.sessions.extend(emulator.sessions)
-    if manager is not None:
-        dataset.replay = manager.finalize()
+    _finalize_manager(dataset, manager)
     obs.campaign_end(obs_mark, "dataset_a", scenario, dataset)
     return dataset
 
@@ -206,8 +245,12 @@ def _vp_loop(scenario: Scenario, emulator: QueryEmulator,
              frontends: Dict[str, FrontEndServer],
              keywords: Sequence[Keyword], repeats: int,
              interval: float, stagger: float,
-             manager: Optional[SessionReplayManager] = None):
-    """Per-vantage-point query loop (a simulator process)."""
+             manager=None):
+    """Per-vantage-point query loop (a simulator process).
+
+    ``manager`` is a :class:`SessionReplayManager`, a
+    :class:`TieredSessionManager`, or None (plain submission).
+    """
     if stagger > 0:
         yield Sleep(stagger)
     for round_index in range(repeats):
@@ -227,10 +270,11 @@ def run_dataset_b(scenario: Scenario, service_name: str,
                   vantage_points: Optional[Sequence[VantagePoint]] = None,
                   store_payload: bool = False,
                   run_timeout: Optional[float] = None,
-                  replay_cache=None) -> DatasetB:
+                  replay_cache=None,
+                  tier: Optional[str] = None) -> DatasetB:
     """Run the fixed-FE campaign for one service and return its sessions.
 
-    ``replay_cache`` works as in :func:`run_dataset_a`.
+    ``replay_cache`` and ``tier`` work as in :func:`run_dataset_a`.
     """
     vps = list(vantage_points or scenario.vantage_points)
     service = scenario.service(service_name)
@@ -238,10 +282,10 @@ def run_dataset_b(scenario: Scenario, service_name: str,
     emulators = []
 
     staggers = _fleet_staggers(scenario, vps, interval)
-    manager = _replay_manager(
+    manager = _campaign_manager(
         scenario,
         _dataset_b_schedule(frontend, vps, repeats, interval, staggers),
-        replay_cache, store_payload, run_timeout)
+        tier, replay_cache, store_payload, run_timeout)
     obs_mark = obs.campaign_begin(scenario)
     for vp in vps:
         scenario.link_client_to_frontend(vp, frontend, service)
@@ -255,8 +299,7 @@ def run_dataset_b(scenario: Scenario, service_name: str,
     scenario.sim.run(until=run_timeout)
     for emulator in emulators:
         dataset.sessions.extend(emulator.sessions)
-    if manager is not None:
-        dataset.replay = manager.finalize()
+    _finalize_manager(dataset, manager)
     obs.campaign_end(obs_mark, "dataset_b", scenario, dataset)
     return dataset
 
@@ -279,7 +322,7 @@ def _dataset_b_schedule(frontend: FrontEndServer,
 def _fixed_fe_loop(emulator: QueryEmulator, service_name: str,
                    frontend: FrontEndServer, keyword: Keyword,
                    repeats: int, interval: float, stagger: float,
-                   manager: Optional[SessionReplayManager] = None):
+                   manager=None):
     if stagger > 0:
         yield Sleep(stagger)
     for _ in range(repeats):

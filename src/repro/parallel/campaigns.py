@@ -62,6 +62,10 @@ class _DatasetAShard:
     #: it so tracing survives any process start method (fork inherits
     #: it anyway) and per-shard captures come back on the dataset.
     observe: bool = False
+    #: Execution tier (None = env default; see repro.sim.analytic).
+    #: Tier decisions are stratum-local and the partition keeps strata
+    #: whole, so per-shard tiering reproduces the serial run.
+    tier: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -79,6 +83,8 @@ class _DatasetBShard:
     run_timeout: Optional[float]
     replay_cache: Optional[bool] = None
     observe: bool = False
+    #: Execution tier, as on :class:`_DatasetAShard`.
+    tier: Optional[str] = None
 
 
 def _select_vps(scenario: Scenario, names: Sequence[str]):
@@ -97,7 +103,8 @@ def _run_dataset_a_shard(shard: _DatasetAShard) -> DatasetA:
         vantage_points=_select_vps(scenario, shard.vp_names),
         store_payload=shard.store_payload,
         run_timeout=shard.run_timeout,
-        replay_cache=shard.replay_cache)
+        replay_cache=shard.replay_cache,
+        tier=shard.tier)
 
 
 def _run_dataset_b_shard(shard: _DatasetBShard) -> DatasetB:
@@ -112,7 +119,8 @@ def _run_dataset_b_shard(shard: _DatasetBShard) -> DatasetB:
         vantage_points=_select_vps(scenario, shard.vp_names),
         store_payload=shard.store_payload,
         run_timeout=shard.run_timeout,
-        replay_cache=shard.replay_cache)
+        replay_cache=shard.replay_cache,
+        tier=shard.tier)
 
 
 def _merged_replay_stats(results: Sequence[object]):
@@ -125,6 +133,20 @@ def _merged_replay_stats(results: Sequence[object]):
     """
     stats = [result.replay for result in results
              if result.replay is not None]
+    if not stats:
+        return None
+    return sum(stats)
+
+
+def _merged_tier_stats(results: Sequence[object]):
+    """Sum per-shard tier stats (None when every shard ran packet-only).
+
+    Tier decisions are per-stratum and the Dataset-A partition keeps
+    each stratum inside one shard, so the merged counters equal the
+    serial run's exactly.
+    """
+    stats = [result.tier for result in results
+             if result.tier is not None]
     if not stats:
         return None
     return sum(stats)
@@ -161,23 +183,27 @@ def _merge_observability(obs_mark, results: Sequence[object],
                          _SHARD_SESSION_BOUNDS)
 
 
-def _check_default_profiles(scenario: Scenario) -> None:
+def _check_default_profiles(scenario: Scenario,
+                            service_names: Sequence[str]) -> None:
     from repro.testbed.scenario import scenario_profiles
 
     # Compare against the profiles a worker rebuilding from the config
     # would construct — config-level transforms (deterministic_services)
-    # are shardable, hand-passed custom profiles are not.
+    # are shardable, hand-passed custom profiles are not.  Only the
+    # services this campaign runs are checked (and thus built — the
+    # scenario constructs deployments lazily).
     defaults = scenario_profiles(scenario.config)
-    for name, deployment in scenario.services.items():
-        if defaults.get(name) != deployment.profile:
+    for name in service_names:
+        if defaults.get(name) != scenario.service(name).profile:
             raise ValueError(
                 "sharding requires a config-built scenario; service %r "
                 "uses a custom profile the worker processes cannot "
                 "rebuild" % name)
 
 
-def _check_shardable(scenario: Scenario) -> None:
-    _check_default_profiles(scenario)
+def _check_shardable(scenario: Scenario,
+                     service_names: Sequence[str]) -> None:
+    _check_default_profiles(scenario, service_names)
     if not scenario.config.keyed_service_draws:
         raise ValueError(
             "sharded campaigns require a scenario built with "
@@ -208,7 +234,8 @@ def run_dataset_a_sharded(scenario: Scenario,
                           processes: int = 0,
                           store_payload: bool = False,
                           run_timeout: Optional[float] = None,
-                          replay_cache: Optional[bool] = None) -> DatasetA:
+                          replay_cache: Optional[bool] = None,
+                          tier: Optional[str] = None) -> DatasetA:
     """Sharded :func:`~repro.measure.driver.run_dataset_a`.
 
     ``scenario`` is used only to partition the fleet and to carry the
@@ -217,10 +244,13 @@ def run_dataset_a_sharded(scenario: Scenario,
     merged dataset bit-identical to the serial run for the same seed.
 
     ``replay_cache`` (None = env default, or a bool) is forwarded to
-    every worker; each builds its own per-shard cache.
+    every worker; each builds its own per-shard cache.  ``tier`` is
+    forwarded too; tier decisions are per-stratum (service, FE, VP) and
+    strata never span shards, so sharded tiering is bit-identical to
+    serial.
     """
-    _check_shardable(scenario)
     service_names = tuple(services or scenario.services)
+    _check_shardable(scenario, service_names)
     components = fe_sharing_components(scenario, service_names)
     partition = partition_components(components, shards)
     shard_specs = [
@@ -232,13 +262,15 @@ def run_dataset_a_sharded(scenario: Scenario,
                        store_payload=store_payload,
                        run_timeout=run_timeout,
                        replay_cache=replay_cache,
-                       observe=obs.enabled())
+                       observe=obs.enabled(),
+                       tier=tier)
         for part in partition]
     obs_mark = obs.fork_mark() if obs.enabled() else None
     results = map_shards(_run_dataset_a_shard, shard_specs, processes)
 
     merged = DatasetA()
     merged.replay = _merged_replay_stats(results)
+    merged.tier = _merged_tier_stats(results)
     merged.sessions = _sessions_in_fleet_order(scenario, results)
     default_fe: Dict[Tuple[str, str], Tuple[str, float]] = {}
     for result in results:
@@ -262,7 +294,8 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
                           processes: int = 0,
                           store_payload: bool = False,
                           run_timeout: Optional[float] = None,
-                          replay_cache: Optional[bool] = None) -> DatasetB:
+                          replay_cache: Optional[bool] = None,
+                          tier: Optional[str] = None) -> DatasetB:
     """Sharded :func:`~repro.measure.driver.run_dataset_b`.
 
     Every Dataset-B vantage point targets the *same* fixed front-end,
@@ -271,8 +304,13 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
     only when concurrent load on that FE is negligible (large
     ``interval`` relative to session durations).  See
     ``docs/PERFORMANCE.md`` for the validity discussion.
+
+    For the same reason, Dataset-B sharding splits (service, FE, VP)
+    strata across shards only when VPs are split — it never is: each VP
+    is wholly in one shard, and tier strata are per-VP.  ``tier`` is
+    therefore safe to forward here too.
     """
-    _check_shardable(scenario)
+    _check_shardable(scenario, (service_name,))
     resolved = scenario.service(service_name).frontend_by_name(
         frontend_name).node.name
     partition = partition_round_robin(scenario.vantage_points, shards)
@@ -286,13 +324,15 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
                        store_payload=store_payload,
                        run_timeout=run_timeout,
                        replay_cache=replay_cache,
-                       observe=obs.enabled())
+                       observe=obs.enabled(),
+                       tier=tier)
         for part in partition]
     obs_mark = obs.fork_mark() if obs.enabled() else None
     results = map_shards(_run_dataset_b_shard, shard_specs, processes)
 
     merged = DatasetB(service=service_name, fe_name=resolved)
     merged.replay = _merged_replay_stats(results)
+    merged.tier = _merged_tier_stats(results)
     merged.sessions = _sessions_in_fleet_order(scenario, results)
     _merge_observability(obs_mark, results, merged)
     return merged

@@ -1,0 +1,61 @@
+"""Counters for the tiered campaign executor.
+
+Mirrors :class:`~repro.sim.replay.cache.ReplayStats`: a plain summable
+record so sharded campaign runners can merge per-shard tier stats with
+``sum()`` and drivers can report one campaign-wide picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TierStats:
+    """What the tier policy decided for one campaign run."""
+
+    #: Sessions served by the closed-form model (no packet simulation).
+    analytic: int = 0
+    #: Sessions that went through the packet engine (bypasses plus
+    #: validation samples).
+    simulated: int = 0
+    #: Packet-simulated sessions used as gate validation samples.
+    validations: int = 0
+    #: Validation comparisons whose landmark error exceeded tolerance.
+    divergences: int = 0
+    #: Strata demoted to packet-level simulation by the gate.
+    demotions: int = 0
+    #: Admission-bypass reasons -> counts (packet-simulated sessions).
+    bypasses: Dict[str, int] = field(default_factory=dict)
+
+    def bypass(self, reason: str) -> None:
+        self.bypasses[reason] = self.bypasses.get(reason, 0) + 1
+
+    @property
+    def bypassed(self) -> int:
+        return sum(self.bypasses.values())
+
+    @property
+    def submissions(self) -> int:
+        return self.analytic + self.simulated
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "TierStats") -> "TierStats":
+        if not isinstance(other, TierStats):
+            return NotImplemented
+        merged = dict(self.bypasses)
+        for reason, count in other.bypasses.items():
+            merged[reason] = merged.get(reason, 0) + count
+        return TierStats(
+            analytic=self.analytic + other.analytic,
+            simulated=self.simulated + other.simulated,
+            validations=self.validations + other.validations,
+            divergences=self.divergences + other.divergences,
+            demotions=self.demotions + other.demotions,
+            bypasses=merged)
+
+    def __radd__(self, other) -> "TierStats":
+        if other == 0:  # sum() support
+            return self
+        return self.__add__(other)

@@ -121,11 +121,22 @@ def path_bypass_reason(scenario, service_name: str, frontend,
         # Without the pinned fixed-window controller the warm FE-BE
         # leg's cwnd carries history from previous fetches.
         return "backend-window"
-    if scenario.config.client_tcp.congestion != "reno" \
-            or profile.edge_tcp.congestion != "reno":
-        # Cubic's window growth is a function of wall-clock time since
-        # the last loss, which breaks the time-shift-exactness argument
-        # even on loss-free paths.
+    for tcp in (scenario.config.client_tcp, profile.edge_tcp):
+        if tcp.congestion == "reno":
+            # Reno is admissible outright: both its slow-start and its
+            # congestion-avoidance growth are byte-counting (no wall-
+            # clock terms), so a recorded timeline is time-shiftable.
+            continue
+        if tcp.congestion == "cubic" \
+                and tcp.initial_ssthresh_bytes >= (1 << 30):
+            # Cubic differs from Reno only after slow start exits, and
+            # its window there is a function of wall-clock time since
+            # the last loss — not time-shiftable.  With an effectively
+            # infinite initial ssthresh on a loss-free admitted path,
+            # slow start never exits, where cubic's byte-counting ramp
+            # is identical to Reno's; sessions are then replayable (and
+            # bit-equal to reno ones, see test_replay_cubic_admission).
+            continue
         return "congestion-model"
     backend = deployment.backend_for_frontend(frontend)
     for link in _path_links(scenario.topology, vp_name,

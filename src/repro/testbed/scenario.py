@@ -36,6 +36,73 @@ from repro.testbed.vantage import VantagePoint, generate_vantage_points
 CLIENT_ROUTE_INFLATION = 1.6
 
 
+class LazyServiceMap:
+    """Mapping of service name -> deployment, constructed on first use.
+
+    Building a deployment is the expensive part of scenario assembly
+    (every FE opens its persistent connection pool to its back-end, and
+    those handshakes are simulated packet-by-packet at t=0), so it is
+    deferred until the service is actually touched: a campaign over one
+    service never pays for the other's fleet.  Names, iteration order
+    and membership are available without construction; ``items()`` and
+    ``values()`` force every deployment, in registration order, so bulk
+    consumers see exactly the eager behavior.
+
+    Laziness is observation-equivalent because deployment construction
+    draws no shared randomness (all streams are name-keyed) and a
+    service's simulated events are confined to its own nodes and links.
+    Deployments must be first touched while the clock is still at the
+    time origin (drivers do this during setup); the pool handshakes
+    then run at t=0 exactly as they would have eagerly.
+    """
+
+    def __init__(self):
+        self._factories: Dict[str, object] = {}
+        self._built: Dict[str, ServiceDeployment] = {}
+
+    def register(self, name: str, factory) -> None:
+        self._factories[name] = factory
+
+    def __getitem__(self, name: str) -> ServiceDeployment:
+        deployment = self._built.get(name)
+        if deployment is None:
+            try:
+                factory = self._factories[name]
+            except KeyError:
+                raise KeyError(name) from None
+            deployment = factory()
+            self._built[name] = deployment
+        return deployment
+
+    def __iter__(self):
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __contains__(self, name) -> bool:
+        return name in self._factories
+
+    def get(self, name, default=None):
+        if name not in self._factories:
+            return default
+        return self[name]
+
+    def keys(self):
+        return self._factories.keys()
+
+    def values(self):
+        return [self[name] for name in self._factories]
+
+    def items(self):
+        return [(name, self[name]) for name in self._factories]
+
+    @property
+    def built(self) -> Dict[str, ServiceDeployment]:
+        """The deployments constructed so far (for tests/diagnostics)."""
+        return dict(self._built)
+
+
 @dataclass(frozen=True)
 class ScenarioConfig:
     """Knobs of a measurement scenario."""
@@ -119,23 +186,26 @@ class Scenario:
         default_profiles = scenario_profiles(self.config)
         google_profile = google_profile or default_profiles[self.GOOGLE]
         bing_profile = bing_profile or default_profiles[self.BING]
-        self.services: Dict[str, ServiceDeployment] = {
-            google_profile.name: ServiceDeployment(
+        self.services = LazyServiceMap()
+        self.services.register(
+            google_profile.name,
+            lambda: ServiceDeployment(
                 self.sim, self.topology, self.streams, google_profile,
                 fe_sites=sites.google_like_fe_sites(),
                 be_sites=list(sites.GOOGLE_LIKE_BE_SITES),
                 cache_static=self.config.cache_static,
                 content_seed=self.config.seed,
-                keyed_draws=self.config.keyed_service_draws),
-            bing_profile.name: ServiceDeployment(
+                keyed_draws=self.config.keyed_service_draws))
+        self.services.register(
+            bing_profile.name,
+            lambda: ServiceDeployment(
                 self.sim, self.topology, self.streams, bing_profile,
                 fe_sites=sites.akamai_like_fe_sites(
                     self.config.akamai_coverage),
                 be_sites=list(sites.BING_LIKE_BE_SITES),
                 cache_static=self.config.cache_static,
                 content_seed=self.config.seed + 1,
-                keyed_draws=self.config.keyed_service_draws),
-        }
+                keyed_draws=self.config.keyed_service_draws))
         self.vantage_points: List[VantagePoint] = generate_vantage_points(
             self.config.vantage_count, streams=self.streams)
         self._client_hosts: Dict[str, TcpHost] = {}
