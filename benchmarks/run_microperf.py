@@ -129,9 +129,24 @@ def main(argv=None) -> int:
                 if name in previous["medians"]
                 and median > previous["medians"][name] * args.check]
             if failures:
-                print("--check %.2f FAILED (slower than %.2fx previous) "
-                      "for: %s" % (args.check, args.check,
-                                   ", ".join(sorted(failures))))
+                # Full ratio table, not just the offenders' names: when
+                # the gate trips you want to see at a glance whether one
+                # benchmark regressed or the whole host got slower.
+                print("--check %.2f FAILED (slower than %.2fx the "
+                      "previous entry %r):"
+                      % (args.check, args.check, previous["label"]))
+                print("  %-42s %12s %12s %8s" % ("benchmark", "previous",
+                                                 "current", "ratio"))
+                for name in sorted(medians):
+                    before = previous["medians"].get(name)
+                    if before is None:
+                        print("  %-42s %12s %10.4fms %8s"
+                              % (name, "(new)", medians[name], "-"))
+                        continue
+                    ratio = medians[name] / before
+                    print("  %-42s %10.4fms %10.4fms %7.2fx%s"
+                          % (name, before, medians[name], ratio,
+                             "  <-- FAIL" if name in failures else ""))
                 return 1
             print("--check %.2f passed (no benchmark regressed past "
                   "%.2fx the previous medians)" % (args.check, args.check))

@@ -152,6 +152,41 @@ def test_bench_dataset_a_campaign_analytic(benchmark):
     assert dataset.tier.divergences == 0
 
 
+def test_bench_streaming_campaign(benchmark):
+    """A small open-loop streaming campaign through the folding runner.
+
+    600 Zipf+Poisson events on the analytic tier — the streaming
+    analogue of the Dataset-A campaign benchmarks.  Tracks the
+    per-event cost of the bounded-memory path (event feed, sliding
+    schedule, session folding, sketch updates); the memory-flatness
+    property itself is asserted by
+    ``benchmarks/test_bench_streaming_memory.py``.
+    """
+    from repro.measure.streaming import run_streaming_campaign
+    from repro.workload import OpenLoopWorkload, WorkloadSpec
+
+    config = ScenarioConfig(seed=7, vantage_count=6,
+                            keyed_service_draws=True,
+                            deterministic_services=True)
+    spec = WorkloadSpec(seed=7, users=200, duration=600.0,
+                        session_rate=2.0, keyword_count=128,
+                        max_events=600, services=(Scenario.GOOGLE,))
+
+    def campaign():
+        scenario = Scenario(config)
+        workload = OpenLoopWorkload(
+            spec, [vp.name for vp in scenario.vantage_points])
+        return run_streaming_campaign(scenario, workload,
+                                      tier="analytic")
+
+    result = benchmark(campaign)
+    assert result.events == 600
+    assert result.sessions == 600
+    assert result.failures == 0
+    assert result.tier is not None and result.tier.analytic > 0
+    assert result.sketches["duration/%s" % Scenario.GOOGLE].count == 600
+
+
 def test_bench_dataset_a_campaign_traced(benchmark):
     """The cache-off campaign with observability (repro.obs) ENABLED.
 

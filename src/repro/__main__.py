@@ -11,6 +11,8 @@ Usage::
     python -m repro --jobs 4            # experiments in parallel
     python -m repro fig678 --shards 4   # shard the Dataset-A campaign
     python -m repro lint src/repro      # static analysis (simlint)
+    python -m repro workload --users 10000 --shards 4   # open-loop
+    python -m repro workload --sweep-alpha 0.6,0.8,1.0,1.2
     python -m repro fig678 --trace t.jsonl --metrics   # observability
     python -m repro report t.jsonl      # summarize a trace export
 """
@@ -136,6 +138,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "report":
         from repro.obs.report import main as report_main
         return report_main(argv[1:])
+    if argv and argv[0] == "workload":
+        from repro.workload.cli import main as workload_main
+        return workload_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures from the simulated "

@@ -10,6 +10,11 @@ from repro.measure.driver import (
 )
 from repro.measure.emulator import QueryEmulator
 from repro.measure.session import QuerySession
+from repro.measure.streaming import (
+    StreamingCampaignResult,
+    StreamingSchedule,
+    run_streaming_campaign,
+)
 from repro.measure.traceio import (
     TraceFormatError,
     load_sessions,
@@ -25,9 +30,12 @@ __all__ = [
     "PacketEvent",
     "QueryEmulator",
     "QuerySession",
+    "StreamingCampaignResult",
+    "StreamingSchedule",
     "TraceFormatError",
     "run_dataset_a",
     "run_dataset_b",
+    "run_streaming_campaign",
     "load_sessions",
     "read_sessions",
     "run_single_queries",

@@ -13,6 +13,10 @@ per shard, and merges the results deterministically:
   points in one shard (:func:`fe_sharing_components`), which together
   with keyed per-query RNG draws (:meth:`RandomStreams.keyed`) makes
   the sharded run *bit-identical* to the serial one.
+* :func:`run_streaming_sharded` — the open-loop streaming campaign
+  (:mod:`repro.measure.streaming`), sharded with the Dataset-A
+  partition; the merged aggregates (counters and quantile sketches)
+  are bit-identical to the serial streaming run at any shard count.
 * :func:`run_over_seeds` — repeat a whole figure experiment across
   seeds, one process per seed.
 
@@ -23,8 +27,10 @@ across simulators would change the phenomenon being measured (see
 """
 
 from repro.parallel.campaigns import (
+    HighFrontEndLoadError,
     run_dataset_a_sharded,
     run_dataset_b_sharded,
+    run_streaming_sharded,
 )
 from repro.parallel.partition import (
     fe_sharing_components,
@@ -35,6 +41,7 @@ from repro.parallel.pool import map_shards
 from repro.parallel.seeds import run_over_seeds
 
 __all__ = [
+    "HighFrontEndLoadError",
     "fe_sharing_components",
     "map_shards",
     "partition_components",
@@ -42,4 +49,5 @@ __all__ = [
     "run_dataset_a_sharded",
     "run_dataset_b_sharded",
     "run_over_seeds",
+    "run_streaming_sharded",
 ]

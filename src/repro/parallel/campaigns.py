@@ -22,6 +22,7 @@ service profiles are rejected.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,10 @@ from repro.measure.driver import (
     run_dataset_b,
 )
 from repro.measure.session import QuerySession
+from repro.measure.streaming import (
+    StreamingCampaignResult,
+    run_streaming_campaign,
+)
 from repro.parallel.partition import (
     fe_sharing_components,
     partition_components,
@@ -41,6 +46,7 @@ from repro.parallel.partition import (
 )
 from repro.parallel.pool import map_shards
 from repro.testbed.scenario import Scenario, ScenarioConfig
+from repro.workload.generator import OpenLoopWorkload, WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -286,6 +292,71 @@ def run_dataset_a_sharded(scenario: Scenario,
     return merged
 
 
+class HighFrontEndLoadError(ValueError):
+    """A Dataset-B sharding request would not be serial-equivalent.
+
+    Raised by :func:`run_dataset_b_sharded` when the campaign schedule
+    keeps the shared front-end busy enough that concurrent sessions
+    would overlap there.  Pass ``allow_high_fe_load=True`` to downgrade
+    this error to a :class:`UserWarning` and shard anyway (accepting
+    that the merged dataset may diverge from the serial run).
+    """
+
+
+def _estimated_fe_busy_time(scenario: Scenario, service_name: str,
+                            frontend_name: str) -> float:
+    """Rough per-session busy time at the shared Dataset-B front-end.
+
+    Two client RTTs (connection setup plus request/response) bracket the
+    FE's own work: its median load delay and the back-end's base
+    processing time.  This is an intentionally *low* estimate — real
+    sessions also pay transfer time and load noise — so the guard only
+    fires on schedules that are clearly too dense.
+    """
+    service = scenario.service(service_name)
+    frontend = service.frontend_by_name(frontend_name)
+    rtts = [scenario.client_fe_rtt(vp, frontend, service)
+            for vp in scenario.vantage_points]
+    mean_rtt = sum(rtts) / len(rtts)  # simlint: unit[s]
+    profile = service.profile
+    return (2.0 * mean_rtt + profile.fe_load.median_delay
+            + profile.processing.base)
+
+
+def _guard_dataset_b_fe_load(scenario: Scenario, service_name: str,
+                             frontend_name: str, interval: float,
+                             allow_high_fe_load: bool) -> None:
+    """Refuse (or warn about) sharding a high-FE-load Dataset-B config.
+
+    Sharded Dataset B is serial-equivalent only while the shared
+    front-end never serves two sessions at once (its concurrency-
+    dependent load draws then see ``concurrency == 1`` in every shard,
+    exactly as in the serial run).  The fleet submits one session every
+    ``interval / len(fleet)`` seconds; when that gap undercuts the
+    estimated per-session FE busy time *and* the service actually
+    charges for concurrency, shards would disagree with the serial
+    schedule's overlaps.
+    """
+    profile = scenario.service(service_name).profile
+    if profile.fe_load.per_concurrent_delay <= 0.0:
+        return  # FE load is concurrency-independent: overlap is harmless
+    gap = interval / max(1, len(scenario.vantage_points))
+    busy = _estimated_fe_busy_time(scenario, service_name, frontend_name)
+    if gap >= busy:
+        return
+    message = (
+        "Dataset-B sharding is only serial-equivalent at low front-end "
+        "load, but this schedule is dense: the fleet submits to %r "
+        "every %.3fs while a session keeps it busy for ~%.3fs, and the "
+        "%r profile charges per-concurrent delay. Raise `interval`, "
+        "shrink the fleet, or pass allow_high_fe_load=True to shard "
+        "anyway (the merged dataset may then diverge from the serial "
+        "run)." % (frontend_name, gap, busy, service_name))
+    if not allow_high_fe_load:
+        raise HighFrontEndLoadError(message)
+    warnings.warn(message, UserWarning, stacklevel=3)
+
+
 def run_dataset_b_sharded(scenario: Scenario, service_name: str,
                           frontend_name: str, keyword: Keyword, *,
                           repeats: int = 10,
@@ -295,15 +366,20 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
                           store_payload: bool = False,
                           run_timeout: Optional[float] = None,
                           replay_cache: Optional[bool] = None,
-                          tier: Optional[str] = None) -> DatasetB:
+                          tier: Optional[str] = None,
+                          allow_high_fe_load: bool = False) -> DatasetB:
     """Sharded :func:`~repro.measure.driver.run_dataset_b`.
 
     Every Dataset-B vantage point targets the *same* fixed front-end,
     so all of them form one FE-sharing component: the partition here is
     plain round-robin and the merged result reproduces the serial run
     only when concurrent load on that FE is negligible (large
-    ``interval`` relative to session durations).  See
-    ``docs/PERFORMANCE.md`` for the validity discussion.
+    ``interval`` relative to session durations).  Schedules dense
+    enough to overlap sessions at the FE raise
+    :class:`HighFrontEndLoadError` up front; pass
+    ``allow_high_fe_load=True`` to downgrade the refusal to a
+    :class:`UserWarning` and shard anyway.  See ``docs/PERFORMANCE.md``
+    for the validity discussion.
 
     For the same reason, Dataset-B sharding splits (service, FE, VP)
     strata across shards only when VPs are split — it never is: each VP
@@ -313,6 +389,8 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
     _check_shardable(scenario, (service_name,))
     resolved = scenario.service(service_name).frontend_by_name(
         frontend_name).node.name
+    _guard_dataset_b_fe_load(scenario, service_name, resolved,
+                             interval, allow_high_fe_load)
     partition = partition_round_robin(scenario.vantage_points, shards)
     shard_specs = [
         _DatasetBShard(config=scenario.config,
@@ -335,4 +413,115 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
     merged.tier = _merged_tier_stats(results)
     merged.sessions = _sessions_in_fleet_order(scenario, results)
     _merge_observability(obs_mark, results, merged)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Streaming (open-loop workload) campaigns
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _StreamingShard:
+    """Picklable work order for one streaming-campaign shard.
+
+    The worker rebuilds the scenario *and* the workload from their
+    specs; the workload's determinism contract (sequential arrival
+    stream + per-session RNGs, see :mod:`repro.workload.generator`)
+    guarantees every shard regenerates the identical global stream and
+    filters it to its own vantage points.
+    """
+
+    config: ScenarioConfig
+    spec: WorkloadSpec
+    vp_names: Tuple[str, ...]
+    batch_events: int
+    lookahead: float
+    replay_cache: Optional[bool] = None
+    observe: bool = False
+    tier: Optional[str] = None
+
+
+def _run_streaming_shard(shard: _StreamingShard
+                         ) -> StreamingCampaignResult:
+    if shard.observe:
+        obs.enable()
+    scenario = Scenario(shard.config)
+    workload = OpenLoopWorkload(
+        shard.spec, [vp.name for vp in scenario.vantage_points])
+    return run_streaming_campaign(
+        scenario, workload,
+        vantage_points=_select_vps(scenario, shard.vp_names),
+        batch_events=shard.batch_events,
+        lookahead=shard.lookahead,
+        tier=shard.tier,
+        replay_cache=shard.replay_cache)
+
+
+def _merge_streaming_observability(obs_mark,
+                                   results: Sequence[
+                                       StreamingCampaignResult],
+                                   merged: StreamingCampaignResult
+                                   ) -> None:
+    """Streaming analogue of :func:`_merge_observability`.
+
+    Streaming results carry metrics only (``trace`` would grow with the
+    event count), so the merge rolls back inline double-counting,
+    combines the per-shard metric snapshots, and re-absorbs them.
+    """
+    if obs_mark is None:
+        return
+    obs.rollback(obs_mark)
+    merged.obs_metrics = obs.merge_metrics(
+        [result.obs_metrics for result in results])
+    obs.absorb(None, merged.obs_metrics)
+    registry = obs.runtime.metrics
+    registry.inc("campaign.shards", len(results))
+    for result in results:
+        registry.observe("shard.sessions", result.sessions,
+                         _SHARD_SESSION_BOUNDS)
+
+
+def run_streaming_sharded(scenario: Scenario, spec: WorkloadSpec, *,
+                          shards: int = 2,
+                          processes: int = 0,
+                          batch_events: int = 2048,
+                          lookahead: float = 30.0,
+                          replay_cache: Optional[bool] = None,
+                          tier: Optional[str] = None
+                          ) -> StreamingCampaignResult:
+    """Sharded :func:`~repro.measure.streaming.run_streaming_campaign`.
+
+    The fleet is partitioned by FE-sharing components (as Dataset A is)
+    so every front-end's full submission schedule lives inside exactly
+    one shard; with keyed service draws the merged result is then
+    bit-identical to the serial streaming run — same counters, same
+    quantile-sketch fingerprints — at any shard count.
+
+    Only spec-built workloads shard: a worker regenerates the stream
+    from the picklable :class:`~repro.workload.generator.WorkloadSpec`.
+    Replay traces (:class:`~repro.workload.trace.TraceWorkload`) run
+    serially instead.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    _check_shardable(scenario, spec.services)
+    components = fe_sharing_components(scenario, spec.services)
+    partition = partition_components(components, shards)
+    shard_specs = [
+        _StreamingShard(config=scenario.config,
+                        spec=spec,
+                        vp_names=tuple(vp.name for vp in part),
+                        batch_events=batch_events,
+                        lookahead=lookahead,
+                        replay_cache=replay_cache,
+                        observe=obs.enabled(),
+                        tier=tier)
+        for part in partition]
+    obs_mark = obs.fork_mark() if obs.enabled() else None
+    results = map_shards(_run_streaming_shard, shard_specs, processes)
+
+    merged = StreamingCampaignResult.merged(results)
+    merged.spec = spec
+    merged.shards = len(results)
+    _merge_streaming_observability(obs_mark, results, merged)
     return merged

@@ -1,0 +1,60 @@
+"""Tests for the microperf trajectory checker (benchmarks/run_microperf)."""
+
+import importlib.util
+import os
+
+import pytest
+
+_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks", "run_microperf.py")
+
+
+@pytest.fixture()
+def microperf(monkeypatch):
+    spec = importlib.util.spec_from_file_location("run_microperf", _PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    def fake_trajectory():
+        return {"benchmark": "fake", "unit": "ms", "runs": [
+            {"label": "baseline", "git_sha": "unknown",
+             "date": "unknown",
+             "medians": {"test_bench_fast": 10.0,
+                         "test_bench_slow": 100.0}}]}
+
+    monkeypatch.setattr(module, "load_trajectory", fake_trajectory)
+    return module
+
+
+def test_check_passes_within_ratio(microperf, monkeypatch, capsys):
+    monkeypatch.setattr(microperf, "run_benchmarks",
+                        lambda: {"test_bench_fast": 12.0,
+                                 "test_bench_slow": 150.0})
+    assert microperf.main(["--check", "2.0", "--dry-run"]) == 0
+    assert "passed" in capsys.readouterr().out
+
+
+def test_check_failure_prints_full_ratio_table(microperf, monkeypatch,
+                                               capsys):
+    monkeypatch.setattr(microperf, "run_benchmarks",
+                        lambda: {"test_bench_fast": 9.0,
+                                 "test_bench_slow": 450.0,
+                                 "test_bench_new": 5.0})
+    assert microperf.main(["--check", "2.0", "--dry-run"]) == 1
+    out = capsys.readouterr().out
+    # The table names every benchmark with previous/current/ratio, not
+    # just the offenders, and marks new entries and failures.
+    assert "test_bench_slow" in out and "4.50x" in out
+    assert "<-- FAIL" in out
+    assert "test_bench_fast" in out and "0.90x" in out
+    assert "test_bench_new" in out and "(new)" in out
+
+
+def test_check_with_no_history_passes(microperf, monkeypatch, capsys):
+    monkeypatch.setattr(microperf, "load_trajectory",
+                        lambda: {"benchmark": "fake", "unit": "ms",
+                                 "runs": []})
+    monkeypatch.setattr(microperf, "run_benchmarks",
+                        lambda: {"test_bench_fast": 9.0})
+    assert microperf.main(["--check", "2.0", "--dry-run"]) == 0
+    assert "nothing to regress" in capsys.readouterr().out
