@@ -152,6 +152,45 @@ def test_bench_dataset_a_campaign_analytic(benchmark):
     assert dataset.tier.divergences == 0
 
 
+def test_bench_dataset_a_campaign_finite_cache(benchmark):
+    """The Dataset-A campaign against a finite (evicting) FE cache.
+
+    Same shape as ``test_bench_dataset_a_campaign_simulated`` but with
+    a 2-object LRU static cache and a keyword rotation that re-references
+    one hot keyword between two colder ones, so the rounds exercise the
+    whole lookup/evict/fill path — hits, evictions, and full-page
+    origin fetches.  Its ratio against the simulated baseline is the
+    cache subsystem's campaign-level overhead (plus the extra
+    origin-fetch traffic it induces).
+    """
+    from repro.cache import CacheHierarchySpec, CacheSpec
+
+    distinct = [Keyword(text="campaign cache query %d" % index,
+                        popularity=0.8, complexity=0.3)
+                for index in range(3)]
+    # hot, cold, hot, cold: the hot keyword survives LRU, the cold
+    # pair keeps displacing each other -> hits AND evictions.
+    keywords = [distinct[0], distinct[1], distinct[0], distinct[2]]
+
+    def campaign():
+        scenario = Scenario(ScenarioConfig(
+            seed=7, vantage_count=3, keyed_service_draws=True,
+            deterministic_services=True,
+            fe_cache=CacheHierarchySpec(
+                static=CacheSpec("lru", capacity_bytes=2 * 4300))))
+        return scenario, run_dataset_a(
+            scenario, keywords, repeats=40, interval=3.0,
+            services=[Scenario.GOOGLE])
+
+    scenario, dataset = benchmark(campaign)
+    assert len(dataset.sessions) == 120
+    assert all(s.complete for s in dataset.sessions)
+    frontends = scenario.service(Scenario.GOOGLE).frontends
+    fetches = sum(fe.static_cache.origin_fetches for fe in frontends)
+    hits = sum(fe.static_cache.levels[0].hits for fe in frontends)
+    assert fetches > 0 and hits > 0
+
+
 def test_bench_streaming_campaign(benchmark):
     """A small open-loop streaming campaign through the folding runner.
 

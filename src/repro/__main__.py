@@ -28,6 +28,7 @@ from repro import obs
 from repro.experiments import (
     ExperimentScale,
     run_cache_ablation,
+    run_cache_lab,
     run_idle_reset_ablation,
     run_keyword_effects,
     run_residential,
@@ -69,6 +70,8 @@ EXPERIMENTS = {
         report.render_caching(run_caching_experiment(scale)),
         report.render_caching(run_caching_experiment(
             scale, fe_caches_results=True))]),
+    "cachelab": lambda scale: report.render_cache_lab(
+        run_cache_lab(scale)),
     "bounds": lambda scale: report.render_validation(
         run_validation(scale)),
     "interactive": lambda scale: report.render_interactive(

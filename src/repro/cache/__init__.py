@@ -1,0 +1,30 @@
+"""Finite content caches and tier composition for front-end servers.
+
+The cache-policy laboratory: byte-capacity :class:`ContentCache` with
+pluggable eviction (LRU/LFU/FIFO/random) and admission (always/prob)
+policies, and :class:`CacheTier` chaining FE → regional → back-end
+lookups.  The degenerate :class:`CacheSpec` default ("infinite")
+reproduces the paper's always-hit black-box FE cache and keeps default
+runs bit-identical.  See docs/CACHING.md.
+"""
+
+from repro.cache.policy import ContentCache
+from repro.cache.spec import (ADMISSIONS, FILLS, POLICIES,
+                              REGIONAL_SCOPES, CacheHierarchySpec,
+                              CacheSpec)
+from repro.cache.tier import (LEVEL_NAMES, ORIGIN, CacheTier,
+                              aggregate_stats)
+
+__all__ = [
+    "ADMISSIONS",
+    "FILLS",
+    "POLICIES",
+    "REGIONAL_SCOPES",
+    "CacheHierarchySpec",
+    "CacheSpec",
+    "CacheTier",
+    "ContentCache",
+    "LEVEL_NAMES",
+    "ORIGIN",
+    "aggregate_stats",
+]

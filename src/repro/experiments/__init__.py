@@ -24,6 +24,7 @@ from repro.experiments.ablation import (
     run_placement_ablation,
     run_split_tcp_ablation,
 )
+from repro.experiments.cache_lab import run_cache_lab
 from repro.experiments.caching import run_caching_experiment
 from repro.experiments.common import ExperimentScale, build_scenario
 from repro.experiments.dataset_a import (
@@ -47,6 +48,7 @@ __all__ = [
     "ExperimentScale",
     "build_scenario",
     "run_cache_ablation",
+    "run_cache_lab",
     "run_caching_experiment",
     "run_dataset_a_experiment",
     "run_fig3",

@@ -15,6 +15,7 @@ from repro.experiments.ablation import (
     PlacementAblationResult,
     SplitTcpAblationResult,
 )
+from repro.experiments.cache_lab import CacheLabResult
 from repro.experiments.caching import CachingExperimentResult
 from repro.experiments.dataset_a import Fig6Result, Fig7Result, Fig8Result
 from repro.experiments.fig3 import Fig3Result
@@ -185,6 +186,46 @@ def render_caching(result: CachingExperimentResult) -> str:
                  % _ms(result.detection.median_distinct))
     lines.append("  " + result.detection.verdict())
     lines.append("  detector correct: %s" % result.detector_correct)
+    return "\n".join(lines)
+
+
+def render_cache_lab(result: CacheLabResult) -> str:
+    """Cache-laboratory sweep table and detector validations."""
+    lines = ["Cache lab — finite FE caches vs the static/dynamic "
+             "inference (%s)" % result.service]
+    lines.append("  static object: %d bytes" % result.static_object_bytes)
+    lines.append("  %-7s %4s %5s %6s %5s | %7s %7s %5s | %8s %8s"
+                 % ("policy", "cap", "alpha", "tiers", "fill",
+                    "gt-hit%", "ext-hit%", "evict",
+                    "Tsta hit", "Tsta miss"))
+    for p in result.points:
+        lines.append(
+            "  %-7s %4d %5.1f %6d %5s | %6.1f%% %6.1f%% %5d | %8s %8s"
+            % (p.policy, p.capacity_objects, p.alpha, p.tier_depth,
+               p.fill, p.ground_truth_hit_rate * 100,
+               p.measured_hit_rate * 100, p.evictions,
+               _ms(p.hit_tstatic) if p.hit_tstatic is not None else "-",
+               _ms(p.miss_tstatic) if p.miss_tstatic is not None
+               else "-"))
+    lines.append("  sweep totals: %d queries, %d origin fetches "
+                 "(misses), %d evictions"
+                 % (sum(p.queries for p in result.points),
+                    sum(p.origin_fetches for p in result.points),
+                    sum(p.evictions for p in result.points)))
+    lines.append("  hit rate monotone in Zipf alpha (lru/cap 8): %s"
+                 % result.hit_rate_monotone_in_alpha)
+    lines.append("  cache_detect validation (ground truth from server "
+                 "logs):")
+    for case in result.validations:
+        lines.append("    %-26s served=%-4d truth=%-5s detected=%-5s "
+                     "ratio=%.2f %s"
+                     % (case.name, case.result_cache_hits,
+                        case.ground_truth_caching,
+                        case.detection.caching_detected,
+                        case.detection.median_ratio,
+                        "OK" if case.detector_correct else "WRONG"))
+    lines.append("  all validations correct: %s"
+                 % result.all_validations_correct)
     return "\n".join(lines)
 
 

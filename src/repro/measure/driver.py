@@ -347,14 +347,23 @@ def run_single_queries(scenario: Scenario, service_name: str,
     """
     service = scenario.service(service_name)
     sessions: List[QuerySession] = []
-    emulators = []
+    # One emulator per distinct vantage point: a VP that appears in
+    # several assignments (the cache-lab streams) keeps one query-id
+    # counter, so every submission gets a globally unique id and the
+    # ground-truth fetch/hit logs stay one record per query.
+    emulators: Dict[str, QueryEmulator] = {}
+    order: List[QueryEmulator] = []
     for index, (vp, keyword) in enumerate(assignments):
         scenario.link_client_to_frontend(vp, frontend, service)
-        emulator = QueryEmulator(scenario, vp, store_payload=store_payload)
-        emulators.append(emulator)
+        emulator = emulators.get(vp.name)
+        if emulator is None:
+            emulator = QueryEmulator(scenario, vp,
+                                     store_payload=store_payload)
+            emulators[vp.name] = emulator
+            order.append(emulator)
         scenario.sim.schedule(index * spacing, emulator.submit,
                               service_name, frontend, keyword)
     scenario.sim.run()
-    for emulator in emulators:
+    for emulator in order:
         sessions.extend(emulator.sessions)
     return sessions

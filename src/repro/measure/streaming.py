@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.sketch import QuantileSketch, merge_sketches
+from repro.cache import aggregate_stats
 from repro.measure.driver import _campaign_manager
 from repro.measure.emulator import QueryEmulator
 from repro.obs import runtime as _obs
@@ -131,6 +132,11 @@ class StreamingCampaignResult:
     #: "bytes/<service>" (response bytes).
     sketches: Dict[str, QuantileSketch] = field(default_factory=dict)
     obs_metrics: Optional[MetricsSnapshot] = None
+    #: Aggregated finite content-cache counters over every front-end
+    #: the campaign touched (None when the scenario runs the degenerate
+    #: infinite cache — keeps default fingerprints unchanged).  See
+    #: :func:`repro.cache.tier.aggregate_stats` for the keys.
+    content_cache: Optional[Dict[str, int]] = None
 
     def sketch(self, name: str) -> QuantileSketch:
         sketch = self.sketches.get(name)
@@ -147,6 +153,16 @@ class StreamingCampaignResult:
         if self.replay is None or self.events == 0:
             return None
         return self.replay.hits / self.events
+
+    def content_hit_rate(self) -> Optional[float]:
+        """FE static-cache hit fraction (None without finite caches)."""
+        stats = self.content_cache
+        if not stats:
+            return None
+        lookups = stats.get("fe_hits", 0) + stats.get("fe_misses", 0)
+        if lookups == 0:
+            return None
+        return stats["fe_hits"] / lookups
 
     def fingerprint(self) -> str:
         """SHA-256 over the deterministic aggregate state.
@@ -167,6 +183,11 @@ class StreamingCampaignResult:
             digest.update(("sketch %s %s\n"
                            % (name, self.sketches[name].fingerprint()))
                           .encode())
+        if self.content_cache is not None:
+            digest.update(b"content-cache ")
+            digest.update(json.dumps(self.content_cache,
+                                     sort_keys=True).encode())
+            digest.update(b"\n")
         if self.obs_metrics is not None:
             records = self.obs_metrics.scoped(SCOPE_SIM).as_records()
             digest.update(json.dumps(records, sort_keys=True).encode())
@@ -201,6 +222,14 @@ class StreamingCampaignResult:
             merged.sketches[name] = merge_sketches(
                 part.sketches[name] for part in parts
                 if name in part.sketches)
+        cache_parts = [part.content_cache for part in parts
+                       if part.content_cache is not None]
+        if cache_parts:
+            totals: Dict[str, int] = {}
+            for stats in cache_parts:
+                for key, value in stats.items():
+                    totals[key] = totals.get(key, 0) + value
+            merged.content_cache = totals
         snapshots = [part.obs_metrics for part in parts
                      if part.obs_metrics is not None]
         if snapshots:
@@ -370,6 +399,7 @@ def run_streaming_campaign(scenario: Scenario, workload, *,
                 frontend = fe_by_name.get(session.fe_name)
                 if frontend is not None:
                     frontend.fetch_log.pop(session.query_id, None)
+                    frontend.static_hit_log.pop(session.query_id, None)
                 backend = backends.get((session.service,
                                         session.fe_name))
                 if backend is not None:
@@ -401,6 +431,8 @@ def run_streaming_campaign(scenario: Scenario, workload, *,
     if manager is not None:
         from repro.measure.driver import _finalize_manager
         _finalize_manager(result, manager)
+    result.content_cache = aggregate_stats(
+        fe.static_cache for fe in fe_by_name.values())
     if metrics_base is not None:
         if _obs.enabled:
             _obs.metrics.inc("campaign.streaming")

@@ -216,6 +216,13 @@ def _check_shardable(scenario: Scenario,
             "ScenarioConfig(keyed_service_draws=True): with the default "
             "shared sequential RNG streams, a shard's service-delay "
             "draws would depend on queries running in other shards")
+    if scenario.config.fe_cache.shared_regional:
+        raise ValueError(
+            "sharded campaigns cannot use a shared regional cache "
+            '(fe_cache.regional_scope="shared"): its contents depend on '
+            "the interleaved miss streams of every front-end homed on a "
+            "back-end, and front-ends land in different shards; use "
+            'regional_scope="per-fe" or run serially')
 
 
 def _sessions_in_fleet_order(scenario: Scenario,
@@ -387,6 +394,20 @@ def run_dataset_b_sharded(scenario: Scenario, service_name: str,
     therefore safe to forward here too.
     """
     _check_shardable(scenario, (service_name,))
+    if scenario.config.fe_cache.finite:
+        # Round-robin splits the shared FE's request stream across
+        # workers, so a finite (evicting) cache would see a different
+        # request order in each shard and diverge from serial state.
+        # Dataset-A/streaming sharding is safe (FE-sharing components
+        # keep each FE's whole stream in one shard) — only Dataset B
+        # shares one FE across shards.
+        raise ValueError(
+            "Dataset-B sharding is not serial-equivalent with a finite "
+            "front-end content cache (fe_cache.static policy %r): all "
+            "vantage points share one FE, and splitting its request "
+            "stream across shards would evolve different cache states; "
+            "run run_dataset_b serially instead"
+            % scenario.config.fe_cache.static.policy)
     resolved = scenario.service(service_name).frontend_by_name(
         frontend_name).node.name
     _guard_dataset_b_fe_load(scenario, service_name, resolved,

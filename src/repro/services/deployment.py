@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cache import CacheHierarchySpec, ContentCache
 from repro.content.page import PageGenerator, PageProfile
 from repro.net.geo import GeoPoint, nearest
 from repro.net.topology import Topology
@@ -126,7 +127,8 @@ class ServiceDeployment:
                  cache_results: bool = False,
                  registry: Optional[KeywordRegistry] = None,
                  content_seed: int = 0,
-                 keyed_draws: bool = False):
+                 keyed_draws: bool = False,
+                 cache_spec: Optional[CacheHierarchySpec] = None):
         if not fe_sites:
             raise ValueError("need at least one FE site")
         if not be_sites:
@@ -137,6 +139,11 @@ class ServiceDeployment:
         self.profile = profile
         self.registry = registry or KeywordRegistry()
         self.keyed_draws = keyed_draws
+        self.cache_spec = cache_spec if cache_spec is not None \
+            else CacheHierarchySpec()
+        #: Shared regional caches (regional_scope="shared"): one per BE
+        #: site, injected into every FE homed on that back-end.
+        self._shared_regional: Dict[str, ContentCache] = {}
         self.pages = PageGenerator(profile.name, profile.page_profile,
                                    seed=content_seed)
         self.backends: List[BackendDataCenter] = []
@@ -196,11 +203,33 @@ class ServiceDeployment:
                 pool_size=self.profile.fe_pool_size,
                 backend_tcp_config=self.profile.backend_tcp,
                 backend_window_bytes=self.profile.backend_window_bytes,
-                keyed_draws=self.keyed_draws))
+                keyed_draws=self.keyed_draws,
+                cache_spec=self.cache_spec,
+                cache_seed=self.streams.seed,
+                regional_cache=self._regional_cache_for(backend)))
 
     def _nearest_backend(self, location: GeoPoint) -> BackendDataCenter:
         backend, _ = nearest(location, self.backends)
         return backend
+
+    def _regional_cache_for(self, backend: BackendDataCenter
+                            ) -> Optional[ContentCache]:
+        """The shared regional cache for FEs homed on ``backend``.
+
+        Only built for ``regional_scope="shared"``; the per-fe default
+        lets each :class:`FrontEndServer` own a private regional tier.
+        """
+        if not self.cache_spec.shared_regional:
+            return None
+        cache = self._shared_regional.get(backend.node.name)
+        if cache is None:
+            cache = ContentCache(
+                self.cache_spec.regional,
+                name="%s/regional" % backend.node.name,
+                seed=self.streams.seed,
+                metric_prefix="cache.regional.")
+            self._shared_regional[backend.node.name] = cache
+        return cache
 
     # ------------------------------------------------------------------
     # lookups used by the testbed / experiments

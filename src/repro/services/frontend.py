@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.cache import CacheHierarchySpec, CacheTier, ContentCache
 from repro.content.page import PageGenerator
 from repro.http.client import PersistentHttpClient, RequestHooks
 from repro.http.message import HttpRequest, HttpResponse
@@ -64,7 +65,8 @@ class _RequestState:
     """Per-user-request assembly state on the FE."""
 
     __slots__ = ("responder", "query_id", "keyword_text", "server",
-                 "static_sent", "dynamic_body", "failed", "done")
+                 "static_sent", "dynamic_body", "failed", "done",
+                 "fill_static")
 
     def __init__(self, responder: Responder, query_id: str,
                  keyword_text: str = "", server=None):
@@ -76,6 +78,9 @@ class _RequestState:
         self.dynamic_body: Optional[bytes] = None
         self.failed = False
         self.done = False
+        # True when this request missed every cache tier and the
+        # arriving full page should fill the hierarchy.
+        self.fill_static = False
 
     def maybe_complete(self) -> None:
         """Send the dynamic part once both halves are ready."""
@@ -111,7 +116,10 @@ class FrontEndServer:
                  backend_tcp_config: Optional[TcpConfig] = None,
                  backend_window_bytes: Optional[int] = None,
                  port: int = FRONTEND_PORT,
-                 keyed_draws: bool = False):
+                 keyed_draws: bool = False,
+                 cache_spec: Optional[CacheHierarchySpec] = None,
+                 cache_seed: int = 0,
+                 regional_cache: Optional[ContentCache] = None):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         self.sim = sim
@@ -126,7 +134,22 @@ class FrontEndServer:
         self.cache_results = cache_results
         self.port = port
         self.fetch_log: Dict[str, FetchRecord] = {}
-        self.result_cache: Dict[str, bytes] = {}
+        # The static-content cache the paper treats as a black box.
+        # The degenerate (infinite) spec always hits — bit-identical to
+        # the plain cache_static boolean; finite specs start cold, and
+        # misses turn into full-page back-end fetches.
+        self.cache_spec = cache_spec if cache_spec is not None \
+            else CacheHierarchySpec()
+        self.static_cache = CacheTier(
+            self.cache_spec, name=node.name, seed=cache_seed,
+            regional_cache=regional_cache)
+        #: Ground truth for cache-lab validation: query_id -> hit level
+        #: (0 = FE, 1 = regional, -1 = origin).  Only populated for
+        #: finite caches; pruned with fetch_log in streaming campaigns.
+        self.static_hit_log: Dict[str, int] = {}
+        self.result_cache = ContentCache(
+            self.cache_spec.result, name="%s/result" % node.name,
+            seed=cache_seed, metric_prefix="fe.result_cache_")
         self.result_cache_hits = 0
         self.requests_served = 0
         self.active_requests = 0
@@ -175,25 +198,48 @@ class FrontEndServer:
             self.streams, "fe-load/%s" % self.node.name,
             concurrency=self.active_requests,
             key=query_id if self.keyed_draws else None)
-        if self.cache_results:
+        static_level = 0
+        if self.cache_static:
+            static_level = self.static_cache.lookup(state.keyword_text)
+            if self.static_cache.finite:
+                # Never needs replay replication: finite content caches
+                # are statically bypassed by replay admission
+                # ("finite-content-cache" in sim/replay/admission.py),
+                # so no replay hit can skip this write.
+                self.static_hit_log[query_id] = static_level  # simlint: ignore[RPLY001]
+        if self.cache_results and self.cache_static \
+                and static_level != CacheTier.ORIGIN:
             cached = self.result_cache.get(request.query.get("q", ""))
-            if cached is not None and self.cache_static:
+            if cached is not None:
                 # Counterfactual mode (the paper shows real services do
                 # NOT do this): serve the dynamic part from the FE cache
                 # with no back-end fetch at all.
                 self.result_cache_hits += 1
-                if _obs.enabled:
+                # Finite result caches export their own counters
+                # (fe.result_cache_hits/_misses/_evictions, sim scope);
+                # this legacy host-scope counter covers the unbounded
+                # default.
+                if _obs.enabled and not self.result_cache.spec.finite:
                     _obs.metrics.inc("fe.result_cache_hits")
                 state.dynamic_body = cached
-                self.sim.schedule(delay, self._write_static, state)
+                self.sim.schedule(
+                    delay + self.static_cache.fetch_delay(static_level),
+                    self._write_static, state)
                 return
-        if self.cache_static:
+        if self.cache_static and static_level != CacheTier.ORIGIN:
             # Forward to the back-end immediately; write the cached
-            # static prefix after the FE processing delay.
+            # static prefix after the FE processing delay (plus the
+            # regional round trip when the hit was one tier down).
             self._forward(request, state, full_page=False)
-            self.sim.schedule(delay, self._write_static, state)
+            self.sim.schedule(
+                delay + self.static_cache.fetch_delay(static_level),
+                self._write_static, state)
         else:
-            # Ablation: no FE cache -- everything waits for the back-end.
+            # No usable static copy — either the ablation switch is off
+            # or every cache tier missed: everything waits for the
+            # back-end's full page.
+            state.fill_static = (self.cache_static
+                                 and static_level == CacheTier.ORIGIN)
             self.sim.schedule(delay, self._forward, request, state, True)
 
     def record_replayed_fetch(self, query_id: str, forwarded_at: float,
@@ -252,7 +298,15 @@ class FrontEndServer:
         record.completed_at = self.sim.now
         record.response_size = len(response.body)
         if self.cache_results and not full_page:
-            self.result_cache[state.keyword_text] = response.body
+            self.result_cache.insert(state.keyword_text,
+                                     len(response.body),
+                                     value=response.body)
+        if state.fill_static:
+            # The full page just arrived from the origin; keep the
+            # static portion per the hierarchy's fill policy so later
+            # requests for this keyword can hit.
+            self.static_cache.fill_from_origin(
+                state.keyword_text, len(self.pages.static_content()))
         if full_page:
             state.responder.send_head(200, {
                 "X-Served-By": self.node.name,

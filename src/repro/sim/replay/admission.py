@@ -115,6 +115,13 @@ def path_bypass_reason(scenario, service_name: str, frontend,
         # *earlier* query for the same keyword — history the key can't
         # capture.
         return "cache-results"
+    if frontend.static_cache.finite or frontend.result_cache.spec.finite:
+        # A finite (evicting) content cache is temporal state: whether
+        # the static portion hits depends on every earlier request that
+        # touched the hierarchy, so no session timeline is reusable.
+        # The degenerate infinite default always hits and stays
+        # admissible.
+        return "finite-content-cache"
     deployment = scenario.service(service_name)
     profile = deployment.profile
     if profile.backend_window_bytes is None:

@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.cache import CacheHierarchySpec
 from repro.net.topology import Topology
 from repro.services.deployment import (
     ServiceDeployment,
@@ -119,6 +120,14 @@ class ScenarioConfig:
     dns_variance: float = 0.0
     #: TCP config for vantage-point stacks.
     client_tcp: TcpConfig = TcpConfig()
+    #: The front-end cache complement (see :mod:`repro.cache`).  The
+    #: default — an infinite always-hit static cache, no regional tier,
+    #: an unbounded result cache — is the paper's black-box assumption
+    #: and keeps campaign outputs bit-identical to the plain
+    #: ``cache_static`` boolean.  Finite specs make static misses real
+    #: (full-page back-end fetches) and are rejected by sharding modes
+    #: that would split one cache's request stream across workers.
+    fe_cache: CacheHierarchySpec = CacheHierarchySpec()
     #: When True, FE load and BE processing delays are drawn from
     #: per-query generators (keyed by query id) instead of shared
     #: sequential streams.  The marginal distributions are identical but
@@ -195,7 +204,8 @@ class Scenario:
                 be_sites=list(sites.GOOGLE_LIKE_BE_SITES),
                 cache_static=self.config.cache_static,
                 content_seed=self.config.seed,
-                keyed_draws=self.config.keyed_service_draws))
+                keyed_draws=self.config.keyed_service_draws,
+                cache_spec=self.config.fe_cache))
         self.services.register(
             bing_profile.name,
             lambda: ServiceDeployment(
@@ -205,7 +215,8 @@ class Scenario:
                 be_sites=list(sites.BING_LIKE_BE_SITES),
                 cache_static=self.config.cache_static,
                 content_seed=self.config.seed + 1,
-                keyed_draws=self.config.keyed_service_draws))
+                keyed_draws=self.config.keyed_service_draws,
+                cache_spec=self.config.fe_cache))
         self.vantage_points: List[VantagePoint] = generate_vantage_points(
             self.config.vantage_count, streams=self.streams)
         self._client_hosts: Dict[str, TcpHost] = {}

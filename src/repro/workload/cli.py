@@ -26,6 +26,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.cache import POLICIES, CacheHierarchySpec, CacheSpec
 from repro.measure.streaming import (
     DEFAULT_BATCH_EVENTS,
     DEFAULT_LOOKAHEAD,
@@ -99,6 +100,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_LOOKAHEAD, metavar="SECONDS",
                         help="schedule visibility window (default: "
                              "%.0f)" % DEFAULT_LOOKAHEAD)
+    parser.add_argument("--fe-cache", default="infinite",
+                        metavar="POLICY[:BYTES]",
+                        help="front-end static-content cache: "
+                             "'infinite' (default, the paper's "
+                             "always-hit black box) or "
+                             "POLICY:CAPACITY_BYTES with POLICY one of "
+                             "%s, e.g. lru:131072 (see docs/CACHING.md)"
+                             % "/".join(p for p in POLICIES
+                                        if p != "infinite"))
     parser.add_argument("--sweep-alpha", default=None,
                         metavar="A[,A...]",
                         help="run once per Zipf alpha (replay cache "
@@ -129,10 +139,23 @@ def _spec_from_args(args, alpha: Optional[float] = None) -> WorkloadSpec:
         max_events=args.events)
 
 
+def _parse_fe_cache(text: str) -> CacheHierarchySpec:
+    """``infinite`` or ``POLICY:CAPACITY_BYTES`` -> a hierarchy spec."""
+    if text == "infinite":
+        return CacheHierarchySpec()
+    policy, sep, capacity = text.partition(":")
+    if not sep:
+        raise ValueError("finite --fe-cache needs a capacity: "
+                         "use POLICY:CAPACITY_BYTES, e.g. lru:131072")
+    return CacheHierarchySpec(
+        static=CacheSpec(policy, capacity_bytes=int(capacity)))
+
+
 def _scenario_from_args(args) -> Scenario:
     return Scenario(ScenarioConfig(
         seed=args.seed, vantage_count=args.vps,
-        keyed_service_draws=True, deterministic_services=True))
+        keyed_service_draws=True, deterministic_services=True,
+        fe_cache=_parse_fe_cache(args.fe_cache)))
 
 
 def _run(args, spec: WorkloadSpec,
@@ -171,6 +194,11 @@ def _summary_dict(result: StreamingCampaignResult) -> dict:
     if result.tier is not None:
         summary["tier"] = {"analytic": result.tier.analytic,
                            "simulated": result.tier.simulated}
+    if result.content_cache is not None:
+        summary["content_cache"] = {
+            "counters": dict(result.content_cache),
+            "hit_rate": result.content_hit_rate(),
+        }
     for name in sorted(result.sketches):
         sketch = result.sketches[name]
         summary["sketches"][name] = {
@@ -195,6 +223,14 @@ def _print_result(result: StreamingCampaignResult) -> None:
     if result.tier is not None:
         print("tier      analytic %d  simulated %d"
               % (result.tier.analytic, result.tier.simulated))
+    if result.content_cache is not None:
+        cache = result.content_cache
+        print("fe-cache  hits %d  misses %d  evictions %d  "
+              "origin-fetches %d  hit-rate %.3f"
+              % (cache.get("fe_hits", 0), cache.get("fe_misses", 0),
+                 cache.get("fe_evictions", 0),
+                 cache.get("origin_fetches", 0),
+                 result.content_hit_rate() or 0.0))
     for name in sorted(result.sketches):
         sketch = result.sketches[name]
         unit = "s" if name.startswith("duration/") else "B"
@@ -208,17 +244,21 @@ def _print_result(result: StreamingCampaignResult) -> None:
 def _sweep_alpha(args, alphas: List[float]) -> int:
     print("alpha sweep (replay cache on): %s"
           % ", ".join("%g" % a for a in alphas))
-    print("%-8s %-10s %-10s %-10s" % ("alpha", "events", "hits",
-                                      "hit-rate"))
+    print("%-8s %-10s %-10s %-10s %-10s"
+          % ("alpha", "events", "hits", "hit-rate", "fe-cache"))
     rates = []
     for alpha in alphas:
         result = _run(args, _spec_from_args(args, alpha=alpha),
                       replay_cache=True)
+        # With a finite --fe-cache the content hit rate is the figure
+        # of merit; the default black box falls back to replay hits.
+        content = result.content_hit_rate()
         rate = result.hit_rate() or 0.0
-        rates.append(rate)
-        print("%-8g %-10d %-10d %-10.3f"
+        rates.append(content if content is not None else rate)
+        print("%-8g %-10d %-10d %-10.3f %-10s"
               % (alpha, result.events,
-                 result.replay.hits if result.replay else 0, rate))
+                 result.replay.hits if result.replay else 0, rate,
+                 "%.3f" % content if content is not None else "-"))
     if rates == sorted(rates):
         print("hit-rate rises monotonically with alpha")
     else:

@@ -1,0 +1,276 @@
+"""Unit tests for the finite content-cache subsystem (``repro.cache``).
+
+Covers spec validation, each eviction policy's victim choice, admission
+control, the determinism contract of the keyed draws, and the
+FE -> regional -> origin tier walk with both fill policies.
+"""
+
+import pytest
+
+from repro.cache import (
+    CacheHierarchySpec,
+    CacheSpec,
+    CacheTier,
+    ContentCache,
+    ORIGIN,
+    aggregate_stats,
+)
+
+
+# ---------------------------------------------------------------------------
+# CacheSpec / CacheHierarchySpec validation
+# ---------------------------------------------------------------------------
+def test_spec_defaults_are_infinite():
+    spec = CacheSpec()
+    assert spec.policy == "infinite"
+    assert not spec.finite
+    hierarchy = CacheHierarchySpec()
+    assert not hierarchy.finite
+    assert not hierarchy.shared_regional
+    assert hierarchy.tier_depth == 0  # degenerate always-hit black box
+
+
+def test_spec_rejects_inconsistent_capacity():
+    with pytest.raises(ValueError):
+        CacheSpec("infinite", capacity_bytes=100)
+    with pytest.raises(ValueError):
+        CacheSpec("lru")  # finite policy needs a capacity
+    with pytest.raises(ValueError):
+        CacheSpec("lru", capacity_bytes=0)
+    with pytest.raises(ValueError):
+        CacheSpec("clock", capacity_bytes=100)  # unknown policy
+
+
+def test_spec_rejects_bad_admission():
+    with pytest.raises(ValueError):
+        CacheSpec("lru", capacity_bytes=10, admission="coin")
+    with pytest.raises(ValueError):
+        CacheSpec("lru", capacity_bytes=10, admission="prob",
+                  admit_probability=1.5)
+
+
+def test_hierarchy_regional_requires_finite_static():
+    with pytest.raises(ValueError):
+        CacheHierarchySpec(regional=CacheSpec("lru", capacity_bytes=10))
+    spec = CacheHierarchySpec(
+        static=CacheSpec("lru", capacity_bytes=10),
+        regional=CacheSpec("lru", capacity_bytes=40))
+    assert spec.finite
+    assert spec.tier_depth == 2
+
+
+# ---------------------------------------------------------------------------
+# Eviction policies
+# ---------------------------------------------------------------------------
+def _cache(policy, capacity, **kwargs):
+    return ContentCache(CacheSpec(policy, capacity_bytes=capacity,
+                                  **kwargs), name="t", seed=7)
+
+
+def test_lru_evicts_least_recently_used():
+    cache = _cache("lru", 3)
+    for key in "abc":
+        cache.insert(key, 1)
+    assert cache.lookup("a")  # refresh a's recency; b is now LRU
+    cache.insert("d", 1)
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache and "d" in cache
+    assert cache.evictions == 1
+
+
+def test_fifo_evicts_oldest_insertion_despite_hits():
+    cache = _cache("fifo", 3)
+    for key in "abc":
+        cache.insert(key, 1)
+    cache.lookup("a")  # FIFO ignores recency
+    cache.insert("d", 1)
+    assert "a" not in cache
+    assert "b" in cache
+
+
+def test_lfu_evicts_least_frequent_with_insertion_tiebreak():
+    cache = _cache("lfu", 3)
+    for key in "abc":
+        cache.insert(key, 1)
+    cache.lookup("a")
+    cache.lookup("a")
+    cache.lookup("c")
+    # frequencies: a=3, b=1, c=2 -> victim b
+    cache.insert("d", 1)
+    assert "b" not in cache
+    # now a=3, c=2, d=1... and on a tie the older insertion loses
+    cache.insert("e", 1)
+    assert "d" not in cache
+
+
+def test_random_eviction_is_deterministic_per_seed():
+    def victims(seed):
+        cache = ContentCache(CacheSpec("random", capacity_bytes=4),
+                             name="t", seed=seed)
+        out = []
+        for index in range(12):
+            before = set(cache._entries)
+            cache.insert("k%d" % index, 1)
+            out.append(tuple(sorted(before - set(cache._entries))))
+        return out
+
+    assert victims(3) == victims(3)  # pure function of (seed, name, n)
+
+
+def test_oversize_object_rejected():
+    cache = _cache("lru", 10)
+    assert not cache.insert("big", 11)
+    assert cache.rejections == 1
+    assert len(cache) == 0
+
+
+def test_resident_reinsert_refreshes_in_place():
+    cache = _cache("lru", 10)
+    cache.insert("a", 4, value="v1")
+    assert cache.insert("a", 6, value="v2")
+    assert cache.insertions == 1  # refresh, not a new insertion
+    assert cache.used_bytes == 6
+    cache.lookup("a")
+    assert cache.get("a") == "v2"
+
+
+def test_eviction_frees_enough_bytes_for_large_objects():
+    cache = _cache("lru", 10)
+    for key in "abcde":
+        cache.insert(key, 2)
+    cache.insert("f", 6)  # must displace three 2-byte entries
+    assert cache.used_bytes <= 10
+    assert "f" in cache
+    assert cache.evictions == 3
+
+
+def test_probabilistic_admission_extremes_and_determinism():
+    never = ContentCache(CacheSpec("lru", capacity_bytes=100,
+                                   admission="prob",
+                                   admit_probability=0.0),
+                         name="t", seed=1)
+    always = ContentCache(CacheSpec("lru", capacity_bytes=100,
+                                    admission="prob",
+                                    admit_probability=1.0),
+                          name="t", seed=1)
+    for index in range(20):
+        never.insert("k%d" % index, 1)
+        always.insert("k%d" % index, 1)
+    assert len(never) == 0 and never.rejections == 20
+    assert len(always) == 20 and always.rejections == 0
+
+    def admitted(seed):
+        cache = ContentCache(CacheSpec("lru", capacity_bytes=100,
+                                       admission="prob",
+                                       admit_probability=0.5),
+                             name="t", seed=seed)
+        return [cache.insert("k%d" % i, 1) for i in range(40)]
+
+    outcomes = admitted(9)
+    assert outcomes == admitted(9)
+    assert any(outcomes) and not all(outcomes)
+
+
+def test_counters_hit_rate_and_stats():
+    cache = _cache("lru", 4)
+    assert cache.hit_rate() is None
+    cache.insert("a", 1)
+    assert cache.lookup("a")
+    assert not cache.lookup("b")
+    assert cache.hit_rate() == 0.5
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1 and stats["used_bytes"] == 1
+    cache.reset_stats()
+    assert cache.lookups == 0
+    assert "a" in cache  # residency survives a stats reset
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes == 0
+
+
+def test_infinite_cache_never_evicts():
+    cache = ContentCache(CacheSpec(), name="t")
+    for index in range(500):
+        cache.insert("k%d" % index, 1000)
+    assert len(cache) == 500
+    assert cache.evictions == 0
+
+
+# ---------------------------------------------------------------------------
+# CacheTier
+# ---------------------------------------------------------------------------
+def test_degenerate_tier_always_hits_silently():
+    tier = CacheTier(CacheHierarchySpec())
+    assert not tier.finite
+    assert tier.lookup("anything") == 0
+    assert tier.origin_fetches == 0
+    assert tier.fetch_delay(0) == 0.0
+
+
+def test_single_tier_miss_fill_hit_cycle():
+    spec = CacheHierarchySpec(static=CacheSpec("lru", capacity_bytes=10))
+    tier = CacheTier(spec, name="fe0", seed=3)
+    assert tier.lookup("page") == ORIGIN
+    assert tier.origin_fetches == 1
+    tier.fill_from_origin("page", 4)
+    assert tier.lookup("page") == 0
+    assert tier.stats()["fe"]["hits"] == 1
+
+
+def test_two_tier_lce_fills_everywhere_and_promotes():
+    spec = CacheHierarchySpec(
+        static=CacheSpec("lru", capacity_bytes=4),
+        regional=CacheSpec("lru", capacity_bytes=16))
+    tier = CacheTier(spec, name="fe0", seed=3)
+    tier.fill_from_origin("page", 4)  # lce: both tiers get a copy
+    assert tier.levels[0].peek("page") and tier.levels[1].peek("page")
+    # Push the copy out of the tiny FE tier, keep the regional one.
+    tier.fill_from_origin("other", 4)
+    assert not tier.levels[0].peek("page")
+    assert tier.levels[1].peek("page")
+    # A regional hit costs the regional delay and re-promotes to FE.
+    assert tier.lookup("page") == 1
+    assert tier.fetch_delay(1) == spec.regional_fetch_delay
+    assert tier.levels[0].peek("page")
+
+
+def test_two_tier_lcd_climbs_one_tier_per_request():
+    spec = CacheHierarchySpec(
+        static=CacheSpec("lru", capacity_bytes=16),
+        regional=CacheSpec("lru", capacity_bytes=16),
+        fill="lcd")
+    tier = CacheTier(spec, name="fe0", seed=3)
+    tier.fill_from_origin("page", 4)  # lcd: regional only
+    assert not tier.levels[0].peek("page")
+    assert tier.levels[1].peek("page")
+    assert tier.lookup("page") == 1  # regional hit promotes to FE
+    assert tier.levels[0].peek("page")
+    assert tier.lookup("page") == 0
+
+
+def test_aggregate_stats_dedups_shared_regional():
+    regional = ContentCache(CacheSpec("lru", capacity_bytes=100),
+                            name="shared", seed=1)
+    spec = CacheHierarchySpec(
+        static=CacheSpec("lru", capacity_bytes=10),
+        regional=CacheSpec("lru", capacity_bytes=100))
+    tiers = [CacheTier(spec, name="fe%d" % i, seed=1,
+                       regional_cache=regional) for i in range(3)]
+    for index, tier in enumerate(tiers):
+        key = "page-%d" % index
+        assert tier.lookup(key) == ORIGIN
+        tier.fill_from_origin(key, 4)
+    # The shared cache now serves another FE's fill at level 1.
+    assert tiers[1].lookup("page-0") == 1
+    totals = aggregate_stats(tiers)
+    assert totals["origin_fetches"] == 3
+    assert totals["fe_misses"] == 4  # 3 cold + tiers[1]'s page-0 miss
+    # One shared regional cache, counted once, not three times.
+    assert totals["regional_misses"] == 3
+    assert totals["regional_hits"] == 1
+    assert totals["regional_used_bytes"] == 12
+
+
+def test_aggregate_stats_none_for_all_infinite():
+    tiers = [CacheTier(CacheHierarchySpec()) for _ in range(3)]
+    assert aggregate_stats(tiers) is None
