@@ -168,8 +168,12 @@ def _install_tier(frontend, spec: CacheHierarchySpec,
     part) and re-equips the probed FE per sweep cell; the hit/miss log
     is cleared with it so each cell's ground truth starts empty.
     """
+    # "cache-lab/tier/" keeps this namespace disjoint from the
+    # keyword-stream seeds ("cache-lab/stream/"): RNG002 flags the
+    # previous "cache-lab/%s" form, which could collide with any
+    # label of the shape "stream/<x>".
     tier = CacheTier(spec, name="%s/%s" % (frontend.node.name, label),
-                     seed=derive_seed(seed, "cache-lab/%s" % label))
+                     seed=derive_seed(seed, "cache-lab/tier/%s" % label))
     frontend.cache_spec = spec
     frontend.static_cache = tier
     frontend.static_hit_log.clear()

@@ -9,15 +9,25 @@ exactly that file.  Project-scope rules always re-run (they are
 cross-file by nature), but on a warm cache they run over restored
 facts without a single re-parse.
 
-The whole cache is invalidated when anything that shapes results
-changes: the rule selection, the facts schema, the rule-pack version,
-the ``[tool.simlint]`` configuration (an ``exclude`` edit changes what
-the project pass sees), and the lint package's own source (so a rule
-edit can never replay findings computed by older logic, even without a
-manual ``RULEPACK_VERSION`` bump).  The store's *signature* covers them
-all, and a signature mismatch simply starts an empty cache.  A corrupt
-or unreadable cache file is likewise treated as empty — the cache can
-slow a run down, never break it.
+The whole cache is invalidated when anything that shapes *analysis*
+changes: the facts schema, the rule-pack version, the ``exclude``
+configuration (it changes what the project pass sees), and the lint
+package's own source (so a rule edit can never replay findings
+computed by older logic, even without a manual ``RULEPACK_VERSION``
+bump).  The store's *signature* covers them all, and a signature
+mismatch simply starts an empty cache.  A corrupt or unreadable cache
+file is likewise treated as empty — the cache can slow a run down,
+never break it.
+
+The *rule selection* (``enable``/``disable`` edits in
+``[tool.simlint]``, ``--select``/``--disable``) is deliberately **not**
+part of the store signature: per-file facts and the inferred-signature
+table do not depend on which rules consume them, so toggling a pack
+must not nuke them.  Instead each per-file entry records the rule ids
+active when it was written; a file replays from cache when the current
+selection is a subset of the recorded one (cached findings of now-
+disabled rules are filtered out on restore), and re-analyzes only when
+the selection grew a rule the entry never ran.
 
 Besides per-file entries the store carries one store-wide section: the
 inferred unit *signature table* from :mod:`repro.lint.simtype`, keyed
@@ -42,11 +52,14 @@ __all__ = ["CacheStore", "RULEPACK_VERSION"]
 
 #: Bump when any rule's behavior changes without its id changing, so
 #: warm caches cannot serve findings computed by older logic.
-RULEPACK_VERSION = 2
+#: v3: effect-parity (EFF/RPLY) and RNG-lineage packs on simflow.
+RULEPACK_VERSION = 3
 
 #: Shape of the cache file itself.
 #: v2: store-wide inferred-signature section ("signatures").
-_CACHE_SCHEMA = 2
+#: v3: per-entry "rules" (active rule ids at record time); the rule
+#: selection left the store signature.
+_CACHE_SCHEMA = 3
 
 
 def _content_key(source: str) -> str:
@@ -108,26 +121,40 @@ class CacheStore:
 
     @staticmethod
     def signature_for(runner) -> str:
-        rule_ids = sorted(
-            cls.id for cls in (runner.rule_classes
-                               + runner.project_rule_classes))
-        config = runner.config
-        config_fp = hashlib.sha256(json.dumps({
-            "enable": sorted(config.enable),
-            "disable": sorted(config.disable),
-            "exclude": sorted(config.exclude),
-        }, sort_keys=True).encode("utf-8")).hexdigest()[:16]
-        return "v%d/facts%d/src:%s/cfg:%s/rules:%s" % (
+        # Deliberately selection-free: see the module docstring.  Only
+        # ``exclude`` stays — it shapes the file set the project pass
+        # (and therefore the signature table) was computed over.
+        config_fp = hashlib.sha256(json.dumps(
+            sorted(runner.config.exclude),
+        ).encode("utf-8")).hexdigest()[:16]
+        return "v%d/facts%d/src:%s/excl:%s" % (
             RULEPACK_VERSION, FACTS_VERSION, _lint_source_digest(),
-            config_fp, ",".join(rule_ids))
+            config_fp)
+
+    @staticmethod
+    def _active_rule_ids(runner) -> List[str]:
+        return sorted(cls.id for cls in (runner.rule_classes
+                                         + runner.project_rule_classes))
 
     # -- per-file protocol ---------------------------------------------
     def restore(self, runner, path: str,
                 source: str) -> Optional[List[Finding]]:
-        """Replay a cached result for ``path``, or None on a miss."""
+        """Replay a cached result for ``path``, or None on a miss.
+
+        A hit additionally requires every currently-active rule to
+        have been active when the entry was recorded; findings of
+        rules since disabled are filtered out (``META001`` diagnostics
+        always survive — they describe the file, not a rule).
+        """
         entry = self.entries.get(path)
         if entry is None or entry.get("key") != _content_key(source):
             return None
+        active = self._active_rule_ids(runner)
+        recorded = set(entry.get("rules", ()))
+        if any(rule_id not in recorded for rule_id in active):
+            return None  # selection grew: this rule never ran here
+        keep = set(active)
+        keep.add("META001")
         self._seen.append(path)
         runner.files_scanned += 1
         runner.files_from_cache += 1
@@ -140,7 +167,7 @@ class CacheStore:
                         path=f["path"], line=f["line"], col=f["col"],
                         message=f["message"], end_line=f["end_line"],
                         suppressed=f["suppressed"])
-                for f in entry["findings"]]
+                for f in entry["findings"] if f["rule"] in keep]
 
     def record(self, runner, path: str, source: str,
                findings: List[Finding]) -> None:
@@ -151,6 +178,7 @@ class CacheStore:
         self._seen.append(path)
         self.entries[path] = {
             "key": _content_key(source),
+            "rules": self._active_rule_ids(runner),
             "findings": [{
                 "rule": f.rule, "severity": f.severity, "path": f.path,
                 "line": f.line, "col": f.col, "end_line": f.end_line,

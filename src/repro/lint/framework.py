@@ -156,8 +156,9 @@ def _load_rule_packs() -> None:
     from repro.lint import (  # noqa: F401
         determinism,
         determinism_flow,
+        effects_pack,
         event_safety,
-        replay_safety,
+        rng_lineage,
         shard_safety,
         unit_flow,
         unit_safety,
@@ -713,6 +714,15 @@ class LintRunner:
             self.signatures_from_cache = len(
                 self._unit_signature_seed or {})
 
+    def _build_effect_engine(self, project) -> None:
+        """Run simflow effect inference once; the EFF/RPLY/RNG rules
+        all consume the memoized analysis."""
+        try:
+            from repro.lint.effectflow import shared_effects
+            shared_effects(project)
+        except Exception:  # pragma: no cover - surfaced by the rules
+            return
+
     def run_project(self) -> List[Finding]:
         """Run project-scope rules over every file linted so far."""
         if not self.project_rule_classes or not self._facts_by_path:
@@ -726,6 +736,10 @@ class LintRunner:
             # Build the inference engine under its own stats entry, so
             # pack timings compare rule cost rather than who ran first.
             self._run_timed("simtype-engine", self._build_unit_engine,
+                            project)
+        if any(cls.id.startswith(("EFF", "RPLY", "RNG"))
+               for cls in self.project_rule_classes):
+            self._run_timed("simflow-engine", self._build_effect_engine,
                             project)
         findings: List[Finding] = []
         for cls in self.project_rule_classes:

@@ -49,7 +49,11 @@ __all__ = [
 #: v2: unit-expression summaries (``unit_assigns``/``unit_returns``/
 #: ``unit_exprs``/``ArgFacts.expr``) and ``# simlint: unit[...]``
 #: annotations, feeding :mod:`repro.lint.simtype`.
-FACTS_VERSION = 2
+#: v3: string skeletons (``ArgFacts.fstr``), self-attribute references
+#: (``FunctionFacts.self_refs``) and counter increments
+#: (``FunctionFacts.counter_incs``), feeding
+#: :mod:`repro.lint.effectflow` and :mod:`repro.lint.rng_lineage`.
+FACTS_VERSION = 3
 
 SCHEDULE_ATTRS = ("schedule", "call_at")
 
@@ -73,14 +77,26 @@ class ArgFacts:
     #: unit-expression summary of the argument (see module docstring of
     #: :mod:`repro.lint.simtype` for the encoding)
     expr: list = dataclasses.field(default_factory=lambda: ["?"])
+    #: string skeleton ``[text, tokens]`` when the argument is (partly)
+    #: a statically visible string: ``"cache/%s/admit#%d" % (name, n)``
+    #: becomes ``["cache/*/admit#*", ["name", "n"]]`` — every dynamic
+    #: hole is ``*`` and ``tokens`` lists the names/attrs feeding the
+    #: holes.  ``None`` when the argument has no literal content at all
+    #: (a bare name, a call result), so fully-dynamic keys never
+    #: masquerade as resolvable namespaces.
+    fstr: Optional[list] = None
 
     def to_json(self) -> list:
-        return [self.slot, self.names, self.calls, self.expr]
+        data = [self.slot, self.names, self.calls, self.expr]
+        if self.fstr is not None:
+            data.append(self.fstr)
+        return data
 
     @classmethod
     def from_json(cls, data: list) -> "ArgFacts":
         return cls(slot=data[0], names=list(data[1]), calls=list(data[2]),
-                   expr=list(data[3]))
+                   expr=list(data[3]),
+                   fstr=list(data[4]) if len(data) > 4 else None)
 
 
 @dataclasses.dataclass
@@ -156,6 +172,13 @@ class FunctionFacts:
     #: uexprs of bare expression statements / branch conditions (unit
     #: mixes in comparisons live here)
     unit_exprs: List[list] = dataclasses.field(default_factory=list)
+    #: attribute names read off ``self`` anywhere in the body —
+    #: method *references* (``self._server_effects`` passed into a
+    #: timeline) become call-graph edges in the effect engine
+    self_refs: List[str] = dataclasses.field(default_factory=list)
+    #: (name, line) for augmented-assignment targets (``self._seq += 1``
+    #: records ``_seq``) — ordinal counters for the RNG-lineage rules
+    counter_incs: List[list] = dataclasses.field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -168,6 +191,7 @@ class FunctionFacts:
             "setl": self.set_loops,
             "ua": self.unit_assigns, "ur": self.unit_returns,
             "ue": self.unit_exprs,
+            "sref": self.self_refs, "cinc": self.counter_incs,
         }
 
     @classmethod
@@ -185,7 +209,9 @@ class FunctionFacts:
             set_loops=[list(s) for s in data["setl"]],
             unit_assigns=[list(a) for a in data["ua"]],
             unit_returns=[list(r) for r in data["ur"]],
-            unit_exprs=[list(e) for e in data["ue"]])
+            unit_exprs=[list(e) for e in data["ue"]],
+            self_refs=list(data["sref"]),
+            counter_incs=[list(c) for c in data["cinc"]])
 
 
 @dataclasses.dataclass
@@ -460,6 +486,8 @@ class _FactsExtractor:
             names, calls = self._summarize(value)
         if isinstance(stmt, ast.AugAssign):
             names = names + [n for n in target_names]
+            for name in target_names:
+                fn.counter_incs.append([name, stmt.lineno])
         fn.assigns.append([target_names, names, calls, stmt.lineno])
         self._unit_assignment(stmt, targets, value)
         # DET005-style set tracking for SHARD002's loop check.
@@ -530,6 +558,16 @@ class _FactsExtractor:
             if isinstance(node.ctx, ast.Load) and node.id not in names:
                 names.append(node.id)
             return
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self" \
+                and isinstance(node.ctx, ast.Load):
+            # A bare ``self.method`` reference (no call): the effect
+            # engine turns these into call-graph edges, so scheduled
+            # method references are not invisible to the closure.
+            refs = self._current.self_refs
+            if node.attr not in refs:
+                refs.append(node.attr)
         if isinstance(node, ast.Call):
             index = self._call(node)
             self._call_ids[id(node)] = index
@@ -560,14 +598,16 @@ class _FactsExtractor:
             a_names, a_calls = self._summarize(arg)
             arg_facts.append(ArgFacts(slot=index, names=a_names,
                                       calls=a_calls,
-                                      expr=self._uexpr(arg)))
+                                      expr=self._uexpr(arg),
+                                      fstr=_str_skeleton(arg)))
             if index == 0 and isinstance(arg, ast.Name):
                 first_arg_name = arg.id
         for keyword in node.keywords:
             a_names, a_calls = self._summarize(keyword.value)
             arg_facts.append(ArgFacts(slot=keyword.arg or "**",
                                       names=a_names, calls=a_calls,
-                                      expr=self._uexpr(keyword.value)))
+                                      expr=self._uexpr(keyword.value),
+                                      fstr=_str_skeleton(keyword.value)))
         call = CallFacts(
             target=target, bare=bare, attr=attr, receiver=receiver,
             line=node.lineno, col=node.col_offset,
@@ -663,6 +703,78 @@ def _subscript_key(node: ast.Subscript) -> Optional[str]:
     if isinstance(index, ast.Constant) and isinstance(index.value, str):
         return index.value
     return None
+
+
+# ---------------------------------------------------------------------------
+# string skeletons
+# ---------------------------------------------------------------------------
+#: ``%%`` (a literal percent) or one %-conversion specifier.
+_FORMAT_SPEC_RE = re.compile(r"%%|%[-+ #0]*\d*(?:\.\d+)?[srdifFeEgGxXoc]")
+
+
+def _str_skeleton(node: ast.expr) -> Optional[list]:
+    """``[skeleton, tokens]`` for a statically visible string expression.
+
+    The skeleton is the expression's literal text with every dynamic
+    hole (a %-specifier, an f-string field, a concatenated name)
+    replaced by ``*``; ``tokens`` lists the names/attributes feeding the
+    holes, in order of first appearance.  Returns ``None`` when the
+    expression carries no literal string content at all — a fully
+    dynamic value is not a resolvable namespace, and downstream rules
+    must not compare it against anything.
+    """
+    text, tokens, literal = _skeleton_parts(node)
+    if not literal:
+        return None
+    while "**" in text:
+        text = text.replace("**", "*")
+    return [text, tokens]
+
+
+def _skeleton_parts(node: ast.expr) -> Tuple[str, List[str], bool]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.replace("%%", "%"), [], True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod) \
+            and isinstance(node.left, ast.Constant) \
+            and isinstance(node.left.value, str):
+        text = _FORMAT_SPEC_RE.sub(
+            lambda m: "%" if m.group(0) == "%%" else "*",
+            node.left.value)
+        return text, _hole_tokens(node.right), True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left_text, left_tokens, left_lit = _skeleton_parts(node.left)
+        right_text, right_tokens, right_lit = _skeleton_parts(node.right)
+        return (left_text + right_text, left_tokens + right_tokens,
+                left_lit or right_lit)
+    if isinstance(node, ast.JoinedStr):
+        text = ""
+        tokens: List[str] = []
+        literal = False
+        for value in node.values:
+            if isinstance(value, ast.Constant) \
+                    and isinstance(value.value, str):
+                text += value.value
+                literal = literal or bool(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                text += "*"
+                tokens.extend(_hole_tokens(value.value))
+            else:  # pragma: no cover - future node kinds
+                text += "*"
+        return text, tokens, literal
+    return "*", _hole_tokens(node), False
+
+
+def _hole_tokens(node: ast.expr) -> List[str]:
+    """Names and attribute fields read by a dynamic skeleton hole."""
+    tokens: List[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute):
+            if child.attr not in tokens:
+                tokens.append(child.attr)
+        elif isinstance(child, ast.Name) and child.id != "self":
+            if child.id not in tokens:
+                tokens.append(child.id)
+    return tokens
 
 
 def _stmt_exprs(stmt: ast.stmt) -> Iterable[ast.expr]:

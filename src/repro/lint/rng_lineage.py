@@ -1,0 +1,228 @@
+"""RNG-lineage rule pack (RNG001-RNG003).
+
+Sharded and streaming campaigns are bit-identical to their serial runs
+only because every stochastic decision is drawn from a *keyed* stream:
+``derive_seed(seed, "ns/...")`` and ``RandomStreams.keyed(name, key)``
+give each (namespace, entity) pair its own deterministic generator, so
+draw order — which differs across shard interleavings — cannot change
+any value.  Shared sequential streams (``streams.get(name)`` and the
+convenience draws layered on it) are only safe in strictly serial
+code.  Three lineage bugs break the guarantee silently; all three need
+the interprocedural effect summaries of :mod:`repro.lint.effectflow`,
+because the draw usually hides several helper calls below the shard
+entry point:
+
+* RNG001 — a shared-stream draw in code reachable from a shard entry
+  point (a :func:`repro.parallel.pool.map_shards` worker): each worker
+  process advances its *own* copy of the sequence, so the values
+  depend on how work was sharded.  Functions that draw from keyed
+  streams alongside the shared fallback (the
+  ``FrontEndLoadModel.draw`` pattern, where ``keyed_draws`` selects
+  the lineage at runtime) are exempt — the keyed path is the one
+  sharded campaigns configure.
+* RNG002 — two keyed draw sites whose key-namespace format strings
+  can collide: ``"cache-lab/%s"`` and ``"cache-lab/stream/%s"`` both
+  match ``cache-lab/stream/x``, which silently correlates two streams
+  that were meant to be independent.  Namespaces ending in a
+  ``#<ordinal>`` hole collide only with matching prefixes, because
+  ``#`` never appears inside a formatted hole by convention
+  (``RandomStreams.keyed`` joins name and key with ``#``).
+* RNG003 — a keyed draw whose ordinal counter (``self._seq``-style,
+  fed into the key) is incremented by a *different* function of the
+  same class: the counter's value then depends on which code path ran
+  first, which is exactly the shard-variant state keying was supposed
+  to remove.
+
+All rules stand down when the linted file set has no shard dispatch
+(RNG001) or no keyed draw sites (RNG002/RNG003).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Tuple
+
+from repro.lint.effectflow import EffectSite, shared_effects
+from repro.lint.framework import register
+from repro.lint.project import ProjectContext, ProjectRule
+from repro.lint.shard_safety import shard_entry_points
+
+#: Keyed signatures with no statically-resolvable literal content;
+#: skipped by the collision check (a fully-dynamic key matches
+#: everything and proves nothing).
+DYNAMIC = "<dynamic>"
+
+
+@functools.lru_cache(maxsize=4096)
+def _patterns_collide(a: str, b: str) -> bool:
+    """Can two key-namespace skeletons produce the same key?
+
+    ``*`` stands for one-or-more characters excluding ``#`` (a
+    formatted hole; ``#`` is the name/key separator
+    ``RandomStreams.keyed`` appends, so a hole never contains it).
+    Literal characters must match exactly.
+    """
+    @functools.lru_cache(maxsize=None)
+    def walk(i: int, j: int) -> bool:
+        if i == len(a) and j == len(b):
+            return True
+        if i == len(a) or j == len(b):
+            return False
+        ca, cb = a[i], b[j]
+        if ca == "*" and cb == "*":
+            return walk(i + 1, j + 1) or walk(i + 1, j) \
+                or walk(i, j + 1)
+        if ca == "*":
+            return cb != "#" and (walk(i + 1, j + 1) or walk(i, j + 1))
+        if cb == "*":
+            return ca != "#" and (walk(i + 1, j + 1) or walk(i + 1, j))
+        return ca == cb and walk(i + 1, j + 1)
+
+    return walk(0, 0)
+
+
+def _rng_sites(project: ProjectContext, lineage: str
+               ) -> List[Tuple[str, EffectSite]]:
+    """(owning qualname, site) for every RNG draw of one lineage.
+
+    Sites inside a module that *defines* ``derive_seed`` are the keying
+    mechanism itself (``RandomStreams.keyed`` joining name and key,
+    ``spawn`` prefixing its namespace) — every keyed draw in the
+    project flows through them, so they are not draw sites of their
+    own.
+    """
+    analysis = shared_effects(project)
+    out: List[Tuple[str, EffectSite]] = []
+    for qualname in sorted(analysis.sites):
+        facts, _fn = project.functions[qualname]
+        if any(fn.name == "derive_seed"
+               for fn in facts.functions.values()):
+            continue
+        for site in analysis.sites[qualname]:
+            if site.effect[0] == "rng" and site.effect[2] == lineage:
+                out.append((qualname, site))
+    return out
+
+
+@register
+class SharedDrawInShardCodeRule(ProjectRule):
+    id = "RNG001"
+    name = "shared-draw-in-shard-code"
+    severity = "error"
+    description = ("Shared sequential stream drawn in code reachable "
+                   "from a shard entry point; values depend on the "
+                   "shard interleaving.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        entries = shard_entry_points(project)
+        if not entries:
+            return
+        analysis = shared_effects(project)
+        parents = analysis.reachable_from(
+            entry for entry, _path, _line in entries)
+        for qualname, site in _rng_sites(project, "shared"):
+            if qualname not in parents:
+                continue
+            local = analysis.sites.get(qualname, ())
+            if any(s.effect[0] == "rng" and s.effect[2] == "keyed"
+                   for s in local):
+                # The keyed-draw sibling path: sharded campaigns select
+                # it at runtime (FrontEndLoadModel.draw).
+                continue
+            facts, _fn = project.functions[qualname]
+            self.report(
+                facts.path, site.line,
+                "shared-stream draw %r is reachable from shard entry "
+                "point(s) (%s); each worker advances its own copy of "
+                "the sequence, so results depend on the sharding — "
+                "draw from a keyed stream instead"
+                % (site.effect[1],
+                   analysis.project.witness_chain(parents, qualname)))
+
+
+@register
+class KeyNamespaceCollisionRule(ProjectRule):
+    id = "RNG002"
+    name = "key-namespace-collision"
+    severity = "error"
+    description = ("Two derive_seed/keyed call sites can emit the same "
+                   "key namespace; the streams silently correlate.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        sites = [(qualname, site)
+                 for qualname, site in _rng_sites(project, "keyed")
+                 if site.effect[1] != DYNAMIC]
+        for index, (qual_a, site_a) in enumerate(sites):
+            for qual_b, site_b in sites[index + 1:]:
+                skel_a, skel_b = site_a.effect[1], site_b.effect[1]
+                mod_a = project.functions[qual_a][0].module
+                mod_b = project.functions[qual_b][0].module
+                if skel_a == skel_b and mod_a == mod_b:
+                    # One subsystem reusing its own namespace across
+                    # sites is the keyed idiom, not a collision.
+                    continue
+                if not _patterns_collide(skel_a, skel_b):
+                    continue
+                facts_b, _fn = project.functions[qual_b]
+                facts_a, _fn = project.functions[qual_a]
+                self.report(
+                    facts_b.path, site_b.line,
+                    "key namespace %r can collide with %r "
+                    "(%s:%d); colliding derive_seed/keyed namespaces "
+                    "silently correlate streams that must be "
+                    "independent — disambiguate the format strings"
+                    % (skel_b, skel_a, facts_a.path, site_a.line))
+
+
+@register
+class SharedOrdinalCounterRule(ProjectRule):
+    id = "RNG003"
+    name = "shared-ordinal-counter"
+    severity = "error"
+    description = ("Keyed draw's ordinal counter is incremented by a "
+                   "different function; the key depends on which code "
+                   "path ran first.")
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> None:
+        # (module, class) -> counter name -> incrementing qualnames
+        incs: Dict[Tuple[str, str], Dict[str, List[str]]] = {}
+        for qualname in sorted(project.functions):
+            facts, fn = project.functions[qualname]
+            for name, _line in fn.counter_incs:
+                scope = (facts.module, fn.cls or "")
+                incs.setdefault(scope, {}).setdefault(
+                    name, []).append(qualname)
+        for qualname, site in _rng_sites(project, "keyed"):
+            facts, fn = project.functions[qualname]
+            scope = (facts.module, fn.cls or "")
+            local = set(fn.params)
+            for targets, _names, _calls, _line in fn.assigns:
+                local.update(targets)
+            for token in site.tokens:
+                if token in local:
+                    # The counter value arrived as a parameter or was
+                    # computed locally: plain data flow, not shared
+                    # mutable ordinal state.
+                    continue
+                others = [who for who
+                          in incs.get(scope, {}).get(token, [])
+                          if who != qualname]
+                if not others:
+                    continue
+                self.report(
+                    facts.path, site.line,
+                    "keyed draw's ordinal counter %r is incremented "
+                    "by %s; the key then depends on which code path "
+                    "ran first — give each draw site its own counter"
+                    % (token, ", ".join(sorted(
+                        _short(who) for who in others))))
+
+    # one finding per (site, counter) pair, not per incrementer
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qualname

@@ -206,7 +206,7 @@ class FrontEndServer:
                 # are statically bypassed by replay admission
                 # ("finite-content-cache" in sim/replay/admission.py),
                 # so no replay hit can skip this write.
-                self.static_hit_log[query_id] = static_level  # simlint: ignore[RPLY001]
+                self.static_hit_log[query_id] = static_level  # simlint: ignore[RPLY001,EFF001]
         if self.cache_results and self.cache_static \
                 and static_level != CacheTier.ORIGIN:
             cached = self.result_cache.get(request.query.get("q", ""))

@@ -293,6 +293,11 @@ class TieredSessionManager:
         Mirrors the replay cache's hit path exactly: same side-effect
         order as a real submit, same server-record scheduling, same
         event materialization.
+
+        Effect-parity contract: this method is a simflow replication
+        root — its effect closure must cover every signature in
+        sim/replay/effects.py (generated; EFF001/EFF004 enforce the
+        parity statically).
         """
         scenario = self.scenario
         entry = prediction.timeline

@@ -1,44 +1,41 @@
-"""Replicated-effects allowlist for the session-replay cache.
+"""Replicated-effects contract for the session fast paths.
 
-A replay hit never drives :mod:`repro.tcp` packet-by-packet, so every
-side effect a simulated session leaves behind — ground-truth log
-records, registry writes — must be replicated explicitly by
-:meth:`ReplayManager._replay <repro.sim.replay.manager.ReplayManager>`.
-This module is the single source of truth for that contract: the
-signatures listed here are the effect sites that exist on the session
-path (``tcp/``, ``services/``, ``measure/``) *and* are replicated
-bit-for-bit on a hit.
+GENERATED FILE - do not edit by hand.  Regenerate with::
 
-The ``RPLY001`` simlint rule enforces the contract statically: any
-effect-shaped site in session-path code whose signature is missing here
-is flagged, and ``RPLY002`` flags stale entries that no longer match
-any code.  To add a new session side effect:
+    python -m repro.lint src --emit-effects
 
-1. implement the effect in the session path;
-2. replicate it in ``manager.py`` (see ``_server_effects`` for the
-   existing log-record replication);
-3. add its signature below, with a comment naming the replication site;
-4. re-run ``python -m repro.lint src`` — both rules must come back
-   clean.
+A replay hit (:mod:`repro.sim.replay`) or analytic injection
+(:mod:`repro.sim.analytic`) never drives :mod:`repro.tcp`
+packet-by-packet, so every side effect a simulated session
+leaves behind must be replicated explicitly by the fast-path
+managers.  The signatures below are derived by
+:mod:`repro.lint.effectflow` as the intersection of both
+replication roots' effect closures, restricted to signatures
+with at least one session-path site; the EFF004 simlint rule
+fails when this file no longer matches the derivation, and
+EFF001 names any session-path effect the closures miss.
 
-Signature syntax: a bare name means "a call to a method of that name"
-(``register_keywords``); a trailing ``[]`` means "a subscript store
-into an attribute of that name" (``fetch_log[]``).
+Signature syntax: a bare name means "a call to a method of
+that name" (``register_keywords``); a trailing ``[]`` means "a
+subscript store into an attribute of that name"
+(``fetch_log[]``).
 """
 
 from __future__ import annotations
 
-#: Session-path effect signatures replicated on a replay hit.
+#: Session-path effect signatures replicated on a fast-path
+#: hit, with the module(s) performing each one.
 REPLICATED_EFFECTS = (
-    # FrontendApp.fetch_log[qid] = FetchRecord -- replicated by
-    # ReplayManager._server_effects via record_replayed_fetch().
+    # src/repro/services/frontend.py
     "fetch_log[]",
-    # BackendServer.query_log[qid] = QueryRecord -- replicated by
-    # ReplayManager._server_effects via record_replayed_query().
+    # src/repro/services/backend.py
     "query_log[]",
-    # KeywordRegistry.register / register_all / register_keywords --
-    # replicated directly at the top of ReplayManager._replay.
+    # src/repro/services/backend.py
     "register",
+    # src/repro/services/deployment.py
     "register_all",
+    # src/repro/measure/emulator.py
     "register_keywords",
+    # src/repro/tcp/host.py
+    "reserve_port",
 )

@@ -282,6 +282,10 @@ class SessionReplayManager:
     # ------------------------------------------------------------------
     def _replay(self, emulator, service_name: str, frontend, keyword,
                 entry: RecordedTimeline, start: float) -> QuerySession:
+        # Effect-parity contract: this method is a simflow replication
+        # root — everything it reaches must cover every signature in
+        # sim/replay/effects.py (generated; EFF001/EFF004 enforce the
+        # parity, so deleting any replication below fails the lint).
         scenario = self.scenario
         service = scenario.service(service_name)
         # Replicate submit()'s side effects in its exact order.

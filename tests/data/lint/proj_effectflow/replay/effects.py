@@ -1,0 +1,8 @@
+"""Replicated-effects contract for the fixture; stale vs the derived
+closure (missing nothing, but carrying the manager's ghost_log)."""
+
+REPLICATED_EFFECTS = (  # expect: EFF004,RPLY002
+    "packet_log[]",
+    "register",
+    "ghost_log[]",
+)

@@ -1,0 +1,13 @@
+"""Ordinal-counter keying where another method advances the ordinal."""
+
+
+class Sequencer:
+    def __init__(self, seed):
+        self._seed = seed
+        self._seq = 0
+
+    def bump(self):
+        self._seq += 1
+
+    def draw(self):
+        return derive_seed(self._seed, "seq/run#%d" % self._seq)  # expect: RNG003

@@ -1,0 +1,5 @@
+"""Seed admission whose key namespace swallows campaign stream seeds."""
+
+
+def admit_seed(seed, name):
+    return derive_seed(seed, "pool/%s" % name)  # expect: RNG002

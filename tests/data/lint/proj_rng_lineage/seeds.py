@@ -1,0 +1,9 @@
+"""Per-shard sampler that (wrongly) draws from the shared streams."""
+
+
+class Sampler:
+    def __init__(self, shard):
+        self.shard = shard
+
+    def draw(self, streams):
+        return streams.uniform(0.0, 1.0)  # expect: RNG001

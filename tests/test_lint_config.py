@@ -129,7 +129,7 @@ def test_json_schema_is_stable(tmp_path, capsys):
                               "files_scanned", "findings",
                               "signatures_from_cache", "suppressed",
                               "version"]
-    assert report["version"] == JSON_SCHEMA_VERSION == 3
+    assert report["version"] == JSON_SCHEMA_VERSION == 4
     assert report["files_scanned"] == 1
     assert report["files_analyzed"] == 1
     assert report["files_from_cache"] == 0

@@ -21,7 +21,8 @@ FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         "data", "lint")
 
 PROJECT_FIXTURES = ("proj_evt", "proj_flow", "proj_shard", "proj_rply",
-                    "proj_unit_flow", "proj_unit_conv")
+                    "proj_unit_flow", "proj_unit_conv",
+                    "proj_effectflow", "proj_rng_lineage")
 
 
 def lint_project(dirname):
@@ -172,10 +173,11 @@ def test_cache_restores_inferred_signatures(tmp_path, capsys):
     assert warm["findings"] == cold["findings"]
 
 
-def test_cache_invalidates_on_config_change(tmp_path, capsys):
-    # Cache keys fold in the effective configuration: editing
-    # [tool.simlint] between runs must drop every cached entry, not
-    # replay findings produced under the old rule selection.
+def test_cache_survives_pack_disable(tmp_path, capsys):
+    # Rule-selection edits are pack-granular, not store-nuking:
+    # disabling a rule between runs must keep every cached entry (the
+    # facts and findings of the *other* rules are still valid) and
+    # simply filter the disabled rule's findings out on restore.
     target = tmp_path / "mod.py"
     target.write_text("import time\nstart = time.time()\n",
                       encoding="utf-8")
@@ -185,16 +187,55 @@ def test_cache_invalidates_on_config_change(tmp_path, capsys):
     argv = [str(target), "--config", str(pyproject), "--cache", cache,
             "--format", "json"]
     assert main(argv) == 1
-    capsys.readouterr()
-    assert main(argv) == 1
-    assert json.loads(capsys.readouterr().out)["files_from_cache"] == 1
-    pyproject.write_text('[tool.simlint]\ndisable = ["UNIT009"]\n',
+    cold = json.loads(capsys.readouterr().out)
+    flagged = {f["rule"] for f in cold["findings"]}
+    assert "DET001" in flagged
+    pyproject.write_text('[tool.simlint]\ndisable = ["DET001"]\n',
                          encoding="utf-8")
+    assert main(argv) in (0, 1)
+    report = json.loads(capsys.readouterr().out)
+    assert report["files_from_cache"] == 1
+    assert report["files_analyzed"] == 0
+    assert "DET001" not in {f["rule"] for f in report["findings"]}
+
+
+def test_cache_misses_when_selection_grows(tmp_path, capsys):
+    # The flip side of pack-granular invalidation: an entry recorded
+    # under a narrow selection never ran the re-enabled rule, so the
+    # file must be re-analyzed, not replayed without its findings.
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nstart = time.time()\n",
+                      encoding="utf-8")
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text('[tool.simlint]\ndisable = ["DET001"]\n',
+                         encoding="utf-8")
+    cache = str(tmp_path / "cache.json")
+    argv = [str(target), "--config", str(pyproject), "--cache", cache,
+            "--format", "json"]
+    main(argv)
+    capsys.readouterr()
+    pyproject.write_text("[tool.simlint]\n", encoding="utf-8")
     assert main(argv) == 1
     report = json.loads(capsys.readouterr().out)
     assert report["files_from_cache"] == 0
     assert report["files_analyzed"] == 1
-    assert report["signatures_from_cache"] == 0
+    assert "DET001" in {f["rule"] for f in report["findings"]}
+
+
+def test_signature_table_survives_pack_disable(tmp_path, capsys):
+    # The satellite regression this protects: the old full-config
+    # fingerprint nuked the store (signature table included) on any
+    # enable/disable edit.  Toggling a pack must keep the warm run's
+    # signatures_from_cache nonzero.
+    cache = str(tmp_path / "cache.json")
+    root = os.path.join(FIXTURES, "proj_unit_flow")
+    argv = [root, "--cache", cache, "--format", "json"]
+    assert main(argv + ["--no-config"]) == 1
+    capsys.readouterr()
+    assert main(argv + ["--no-config", "--disable", "EVT001"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["files_from_cache"] == report["files_scanned"]
+    assert report["signatures_from_cache"] > 0
 
 
 # ---------------------------------------------------------------------------
